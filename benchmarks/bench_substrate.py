@@ -1,0 +1,81 @@
+"""Substrate micro-benchmarks and ablations.
+
+Not a table of the paper, but the measurements DESIGN.md calls out for
+the design choices that make the pure-Python reproduction feasible:
+
+* espresso with an explicit off-set vs tautology-based implicant checks
+  (the off-set construction from deterministic rows is what keeps the
+  encoded-cover minimization fast);
+* unate-recursive tautology throughput on MV covers;
+* semiexact_code throughput (the inner loop of ihybrid);
+* symbolic minimization stage cost.
+"""
+
+import pytest
+
+from repro.constraints.input_constraints import extract_input_constraints
+from repro.encoding.iexact import semiexact_code
+from repro.fsm.benchmarks import benchmark as get_machine
+from repro.fsm.symbolic_cover import build_symbolic_cover
+from repro.logic.espresso import espresso
+from repro.logic.urp import tautology
+from repro.symbolic.symbolic_min import symbolic_minimize
+
+from conftest import record
+
+
+@pytest.fixture(scope="module")
+def ex3_cover():
+    return build_symbolic_cover(get_machine("ex3"))
+
+
+def test_espresso_with_explicit_off(benchmark, ex3_cover):
+    sc = ex3_cover
+    result = benchmark(lambda: espresso(sc.on, sc.dc, off=sc.off))
+    assert len(result) <= len(sc.on)
+    record("ablation_espresso", {
+        "variant": "explicit off-set", "cubes": len(result),
+    })
+
+
+def test_espresso_tautology_oracle(benchmark, ex3_cover):
+    sc = ex3_cover
+    result = benchmark(lambda: espresso(sc.on, sc.dc))
+    assert len(result) <= len(sc.on)
+    record("ablation_espresso", {
+        "variant": "tautology oracle", "cubes": len(result),
+    })
+
+
+def test_espresso_low_effort(benchmark, ex3_cover):
+    sc = ex3_cover
+    result = benchmark(lambda: espresso(sc.on, sc.dc, off=sc.off,
+                                        effort="low"))
+    assert len(result) <= len(sc.on)
+    record("ablation_espresso", {
+        "variant": "low effort (expand+irredundant)", "cubes": len(result),
+    })
+
+
+def test_tautology_throughput(benchmark, ex3_cover):
+    sc = ex3_cover
+    cover = sc.on.cofactor(sc.on.cubes[0])
+    benchmark(lambda: tautology(cover))
+
+
+def test_semiexact_throughput(benchmark):
+    sc = build_symbolic_cover(get_machine("bbtas"))
+    cs = extract_input_constraints(sc).state_constraints
+    masks = cs.masks()
+
+    def run():
+        return semiexact_code(masks[:2], cs.n, 3)
+
+    enc = benchmark(run)
+    assert enc is None or len(set(enc.codes)) == cs.n
+
+
+def test_symbolic_minimize_cost(benchmark):
+    sc = build_symbolic_cover(get_machine("beecount"))
+    res = benchmark(lambda: symbolic_minimize(sc))
+    assert res.final_cover_size > 0

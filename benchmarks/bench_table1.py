@@ -1,0 +1,28 @@
+"""Table I: statistics of the benchmark examples.
+
+Regenerates the inputs/outputs/states/products table for the machines
+of the chosen subset, and benchmarks the cost of building the suite
+(construction + generation + validation).
+"""
+
+from repro.fsm.benchmarks import _CACHE
+from repro.fsm.benchmarks import benchmark as get_machine
+
+from conftest import record, subset_names
+
+
+def _build_all():
+    _CACHE.clear()
+    for name in subset_names():
+        get_machine(name)
+    return len(set(subset_names()))
+
+
+def test_table1_build_suite(benchmark):
+    count = benchmark(_build_all)
+    assert count == len(set(subset_names()))
+    for name in subset_names():
+        fsm = get_machine(name)
+        row = {"example": name}
+        row.update(fsm.stats())
+        record("table1", row)

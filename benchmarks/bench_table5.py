@@ -1,0 +1,41 @@
+"""Table V: iohybrid vs Cappuccino/Cream.
+
+Cappuccino/Cream is unavailable (DESIGN.md §5.3); its column holds the
+paper's published numbers, against which our measured iohybrid runs are
+compared.  The paper reports iohybrid areas averaging ~30% less (71% vs
+100%); with synthetic machine stand-ins we assert the direction on the
+code length — iohybrid always uses at most Cappuccino's published
+number of bits — and report the area ratio.
+"""
+
+import pytest
+
+from repro.eval.tables import table5_row, totals
+
+from conftest import note, record, subset_names
+
+NAMES = subset_names("table5")
+_rows = []
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table5_row(benchmark, name):
+    row = benchmark.pedantic(table5_row, args=(name,), iterations=1,
+                             rounds=1)
+    record("table5", row)
+    _rows.append(row)
+    assert row["iohybrid_area"] > 0
+
+
+def test_table5_headline(benchmark):
+    benchmark(lambda: None)
+    assert len(_rows) == len(NAMES)
+    t = totals(_rows, ["iohybrid_area", "cappuccino_area",
+                       "iohybrid_bits", "cappuccino_bits"])
+    note("table5",
+         f"TOTALS  iohybrid={t['iohybrid_area']}  "
+         f"cappuccino(published)={t['cappuccino_area']}  "
+         f"ratio={t['iohybrid_area'] / t['cappuccino_area']:.2f} "
+         f"(paper: 0.71)")
+    assert t["iohybrid_bits"] <= t["cappuccino_bits"], \
+        "iohybrid targets minimum code length; Cappuccino used more bits"

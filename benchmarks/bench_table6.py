@@ -1,0 +1,35 @@
+"""Table VI: statistics of ihybrid.
+
+Per machine: total weight of satisfied (wsat) and unsatisfied (wunsat)
+input constraints at the minimum code length, the code length at which
+ihybrid satisfies everything (clength), and the run time.  Times are
+host wall-clock, not VAX 11/8650 CPU seconds — the cross-machine
+ordering is the reproducible signal (DESIGN.md §5.5).
+"""
+
+import pytest
+
+from repro.eval.tables import table6_row
+
+from conftest import note, record, subset_names
+
+NAMES = subset_names("paper30")
+_rows = []
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table6_row(benchmark, name):
+    row = benchmark.pedantic(table6_row, args=(name,), iterations=1,
+                             rounds=1)
+    record("table6", row)
+    _rows.append(row)
+    assert row["wsat"] >= 0 and row["wunsat"] >= 0
+    assert row["clength"] >= row["min_clength"]
+
+
+def test_table6_headline(benchmark):
+    benchmark(lambda: None)
+    assert len(_rows) == len(NAMES)
+    full = sum(1 for r in _rows if r["wunsat"] == 0)
+    note("table6", f"{full}/{len(_rows)} machines fully satisfied at the "
+                   f"final code length")

@@ -1,0 +1,67 @@
+"""Shared infrastructure for the table/figure regeneration benchmarks.
+
+Each ``bench_table*.py`` regenerates one table of the paper: every
+benchmarked unit computes one row, rows accumulate per table, and at
+session teardown the formatted tables are printed and written to
+``benchmarks/results/``.  EXPERIMENTS.md records a full run.
+
+The machine subset defaults to the quick ``small`` set; set
+``NOVA_BENCH_SET=paper30`` (or ``table5`` / ``table7`` / ``all``) for
+the full paper protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.eval.tables import format_table
+from repro.fsm.benchmarks import benchmark_names
+
+SUBSET = os.environ.get("NOVA_BENCH_SET", "small")
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_tables: Dict[str, List[dict]] = defaultdict(list)
+_notes: Dict[str, List[str]] = defaultdict(list)
+
+
+def subset_names(table: str = "paper30") -> List[str]:
+    """Machines to run: the quick subset intersected with the table's set."""
+    table_set = benchmark_names(table)
+    if SUBSET == table:
+        return table_set
+    chosen = benchmark_names(SUBSET) if SUBSET != "paper30" else table_set
+    names = [n for n in table_set if n in set(chosen)]
+    return names or table_set[:3]
+
+
+def record(table: str, row: dict) -> None:
+    _tables[table].append(row)
+
+
+def note(table: str, text: str) -> None:
+    _notes[table].append(text)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_reports():
+    yield
+    from repro.eval.report import to_csv, to_markdown
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for table, rows in sorted(_tables.items()):
+        text = format_table(rows, title=f"{table} (subset={SUBSET})")
+        for extra in _notes.get(table, []):
+            text += "\n" + extra
+        path = RESULTS_DIR / f"{table}.txt"
+        path.write_text(text + "\n")
+        md = to_markdown(rows, title=f"{table} (subset={SUBSET})")
+        for extra in _notes.get(table, []):
+            md += f"\n> {extra}\n"
+        (RESULTS_DIR / f"{table}.md").write_text(md)
+        (RESULTS_DIR / f"{table}.csv").write_text(to_csv(rows))
+        print(f"\n{text}\n[written to {path} (+ .md/.csv)]")

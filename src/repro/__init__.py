@@ -1,0 +1,35 @@
+"""Reproduction of NOVA: optimal state assignment of finite state machines.
+
+Villa & Sangiovanni-Vincentelli, "NOVA: State Assignment of Finite State
+Machines for Optimal Two-Level Logic Implementation", DAC 1989 /
+IEEE TCAD 9(9), 1990.
+
+Public API highlights:
+
+* :func:`repro.encode_fsm` — the full pipeline (MV/symbolic
+  minimization, encoding, re-minimization, area);
+* :mod:`repro.fsm` — machines, KISS2 I/O, the benchmark suite;
+* :mod:`repro.encoding` — iexact/ihybrid/igreedy/iohybrid and baselines;
+* :mod:`repro.logic` — the espresso-style two-level/MV minimizer;
+* :mod:`repro.eval` — PLA instantiation, area model, tables harness.
+"""
+
+from repro.encoding.nova import ALGORITHMS, NovaResult, encode_fsm
+from repro.fsm.benchmarks import benchmark, benchmark_names
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.fsm.machine import FSM, Transition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "NovaResult",
+    "encode_fsm",
+    "benchmark",
+    "benchmark_names",
+    "parse_kiss",
+    "to_kiss",
+    "FSM",
+    "Transition",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Baseline state-assignment programs reimplemented from their papers."""
+
+from repro.baselines.kiss import kiss_code
+from repro.baselines.mustang import mustang_code, MUSTANG_OPTIONS
+from repro.baselines.random_search import random_assignments, best_random
+
+__all__ = [
+    "kiss_code",
+    "mustang_code",
+    "MUSTANG_OPTIONS",
+    "random_assignments",
+    "best_random",
+]

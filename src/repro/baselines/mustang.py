@@ -1,0 +1,133 @@
+"""MUSTANG-style baseline (Devadas, Ma, Newton, Sangiovanni-Vincentelli 1987).
+
+MUSTANG targets multilevel implementations: it builds an *attraction
+graph* — a weight for every pair of states measuring how much the pair
+would benefit from adjacent (small Hamming distance) codes — and then
+embeds the states into the code space so that heavily attracted pairs
+get close codes.  Two weight models are implemented, as in the original:
+
+* **fanout-oriented** (``-p``): present states driving the same next
+  state / asserting the same outputs attract each other;
+* **fanin-oriented** (``-n``): next states driven by the same present
+  state / the same inputs attract each other.
+
+The ``-pt`` / ``-nt`` variants additionally weigh the output/input
+contribution by the number of output bits involved, as the original
+does when told to account for multi-bit signals.  The embedding is the
+standard greedy wedge assignment: repeatedly pick the unplaced state
+with the largest attraction to the placed set and give it the free code
+of minimum weighted Hamming distance.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from repro.encoding.base import Encoding
+from repro.fsm.machine import FSM, minimum_code_length
+
+MUSTANG_OPTIONS = ("p", "n", "pt", "nt")
+
+
+def _pair_weights(fsm: FSM, option: str) -> Dict[Tuple[int, int], int]:
+    """Attraction weights between state pairs for the given option."""
+    if option not in MUSTANG_OPTIONS:
+        raise ValueError(f"unknown MUSTANG option {option!r}")
+    fanout = option.startswith("p")
+    scaled = option.endswith("t")
+    n = fsm.num_states
+    weights: Dict[Tuple[int, int], int] = {}
+
+    def add(a: int, b: int, w: int) -> None:
+        if a == b or w == 0:
+            return
+        key = (min(a, b), max(a, b))
+        weights[key] = weights.get(key, 0) + w
+
+    if fanout:
+        # group present states by (next state, output pattern)
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for t in fsm.transitions:
+            if t.present == "*" or t.next == "*":
+                continue
+            key = (t.next, t.outputs)
+            groups.setdefault(key, []).append(fsm.state_index(t.present))
+        for (nxt, outs), members in groups.items():
+            w = 1 + (outs.count("1") if scaled else 0)
+            for a, b in combinations(sorted(set(members)), 2):
+                add(a, b, w)
+        # next-state feedback: states reached from a common present state
+        by_present: Dict[str, List[int]] = {}
+        for t in fsm.transitions:
+            if t.present == "*" or t.next == "*":
+                continue
+            by_present.setdefault(t.present, []).append(
+                fsm.state_index(t.next))
+        for members in by_present.values():
+            for a, b in combinations(sorted(set(members)), 2):
+                add(a, b, 1)
+    else:
+        # fanin-oriented: next states reached under similar conditions
+        by_input: Dict[str, List[int]] = {}
+        for t in fsm.transitions:
+            if t.next == "*":
+                continue
+            key = t.inputs + ("/" + t.symbol if t.symbol else "")
+            by_input.setdefault(key, []).append(fsm.state_index(t.next))
+        for key, members in by_input.items():
+            w = 1 + (key.count("-") if scaled else 0)
+            for a, b in combinations(sorted(set(members)), 2):
+                add(a, b, w)
+        by_present = {}
+        for t in fsm.transitions:
+            if t.present == "*" or t.next == "*":
+                continue
+            by_present.setdefault(t.present, []).append(
+                fsm.state_index(t.next))
+        for members in by_present.values():
+            for a, b in combinations(sorted(set(members)), 2):
+                add(a, b, 1)
+    return weights
+
+
+def _greedy_embed(n: int, nbits: int,
+                  weights: Dict[Tuple[int, int], int]) -> Encoding:
+    """Wedge embedding: attracted pairs get Hamming-close codes."""
+
+    def w(a: int, b: int) -> int:
+        return weights.get((min(a, b), max(a, b)), 0)
+
+    placed: Dict[int, int] = {}
+    free = list(range(1 << nbits))
+    # seed: the state with the largest total attraction gets code 0
+    totals = [sum(w(s, o) for o in range(n) if o != s) for s in range(n)]
+    order = sorted(range(n), key=lambda s: (-totals[s], s))
+    seed = order[0]
+    placed[seed] = 0
+    free.remove(0)
+    while len(placed) < n:
+        # next: unplaced state most attracted to the placed set
+        best = max(
+            (s for s in range(n) if s not in placed),
+            key=lambda s: (sum(w(s, o) for o in placed), totals[s], -s),
+        )
+        # code minimizing weighted Hamming distance to placed neighbours
+        def cost(code: int) -> Tuple[int, int]:
+            c = sum(w(best, o) * bin(code ^ placed[o]).count("1")
+                    for o in placed)
+            return (c, code)
+
+        code = min(free, key=cost)
+        placed[best] = code
+        free.remove(code)
+    return Encoding(nbits, [placed[s] for s in range(n)])
+
+
+def mustang_code(fsm: FSM, option: str = "p",
+                 nbits: int = None) -> Encoding:
+    """MUSTANG state assignment with the given weighting option."""
+    n = fsm.num_states
+    bits = minimum_code_length(n) if nbits is None else nbits
+    weights = _pair_weights(fsm, option)
+    return _greedy_embed(n, bits, weights)

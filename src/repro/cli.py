@@ -1,0 +1,226 @@
+"""Command-line interface: ``nova`` — encode a KISS2 machine or run tables.
+
+Examples
+--------
+Encode a machine from a KISS2 file with the default algorithm::
+
+    nova encode my_machine.kiss --algorithm iohybrid
+
+Run a benchmark machine by name::
+
+    nova encode --benchmark dk14 --algorithm ihybrid
+
+Regenerate a paper table on the small machine subset::
+
+    nova table 2 --subset small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.encoding.nova import ALGORITHMS, encode_fsm
+from repro.eval import tables
+from repro.fsm.benchmarks import benchmark, benchmark_names
+from repro.fsm.kiss import parse_kiss
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        fsm = benchmark(args.benchmark)
+    elif args.file:
+        with open(args.file) as f:
+            fsm = parse_kiss(f.read(), name=args.file)
+    else:
+        print("error: give a KISS2 file or --benchmark NAME", file=sys.stderr)
+        return 2
+    result = encode_fsm(fsm, args.algorithm, nbits=args.bits,
+                        effort=args.effort)
+    print(f"machine    : {fsm!r}")
+    print(f"algorithm  : {result.algorithm}")
+    print(f"code length: {result.bits} bits")
+    print(f"cubes      : {result.cubes}")
+    print(f"area       : {result.area}")
+    print(f"time       : {result.seconds:.2f}s")
+    print("state codes:")
+    for i, state in enumerate(fsm.states):
+        print(f"  {state:12s} {result.state_encoding.as_bits(i)}")
+    if result.symbol_encoding is not None:
+        print("input symbol codes:")
+        for i, sym in enumerate(fsm.symbolic_input_values):
+            print(f"  {sym:12s} {result.symbol_encoding.as_bits(i)}")
+    if result.out_symbol_encoding is not None:
+        print("output symbol codes:")
+        for i, sym in enumerate(fsm.symbolic_output_values):
+            print(f"  {sym:12s} {result.out_symbol_encoding.as_bits(i)}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    names = benchmark_names(args.subset)
+    n = args.number
+    if n == 1:
+        rows = tables.table1_rows(args.subset)
+    else:
+        row_fn = {
+            2: tables.table2_row,
+            3: tables.table3_row,
+            4: tables.table4_row,
+            5: tables.table5_row,
+            6: tables.table6_row,
+            7: tables.table7_row,
+        }.get(n)
+        if row_fn is None:
+            print(f"error: no table {n}", file=sys.stderr)
+            return 2
+        if n == 5:
+            names = [x for x in benchmark_names("table5")
+                     if args.subset != "small" or x in benchmark_names("small")]
+        rows = []
+        for name in names:
+            try:
+                rows.append(row_fn(name))
+                print(f"  done {name}", file=sys.stderr)
+            except Exception as exc:  # keep sweeping; report at the end
+                print(f"  FAILED {name}: {exc}", file=sys.stderr)
+    print(tables.format_table(rows, title=f"Table {n} ({args.subset})"))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in benchmark_names("all"):
+        print(f"{name:12s} {benchmark(name)!r}")
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    """Two-level minimization of an espresso PLA file."""
+    from repro.logic.espresso import espresso
+    from repro.logic.exact import TooLarge, exact_minimize
+    from repro.logic.pla_io import parse_pla, write_pla
+    from repro.logic.verify import verify_minimization
+
+    with open(args.file) as f:
+        pla = parse_pla(f.read())
+    if args.exact:
+        try:
+            result = exact_minimize(pla.on, pla.dc)
+        except TooLarge as exc:
+            print(f"error: instance too large for exact ({exc}); "
+                  f"use the heuristic", file=sys.stderr)
+            return 1
+    else:
+        off = pla.off if len(pla.off) else None
+        result = espresso(pla.on, pla.dc, off=off, effort=args.effort)
+    if not verify_minimization(result, pla.on, pla.dc,
+                               pla.off if len(pla.off) else None):
+        print("internal error: result failed verification", file=sys.stderr)
+        return 1
+    print(write_pla(result, pla.num_binary), end="")
+    print(f"# {len(pla.on)} -> {len(result)} cubes", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static analysis of a machine (reachability, determinism, STG)."""
+    from repro.fsm.analysis import analyze, to_dot, unreachable_states
+
+    if args.benchmark:
+        fsm = benchmark(args.benchmark)
+    else:
+        with open(args.file) as f:
+            fsm = parse_kiss(f.read(), name=args.file)
+    stats = analyze(fsm)
+    print(f"machine       : {fsm!r}")
+    print(f"reachable     : {stats.reachable}/{stats.states}")
+    if stats.reachable < stats.states:
+        print(f"unreachable   : {', '.join(unreachable_states(fsm))}")
+    print(f"deterministic : {stats.deterministic}")
+    print(f"coverage      : {stats.coverage:.2%}")
+    print(f"max fan-in    : {stats.max_fan_in}")
+    print(f"max fan-out   : {stats.max_fan_out}")
+    print(f"self loops    : {stats.self_loops}")
+    if args.dot:
+        with open(args.dot, "w") as f:
+            f.write(to_dot(fsm))
+        print(f"STG written to {args.dot}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Encode a machine and independently verify the result."""
+    from repro.encoding.verify import verify_encoded_machine
+
+    if args.benchmark:
+        fsm = benchmark(args.benchmark)
+    else:
+        with open(args.file) as f:
+            fsm = parse_kiss(f.read(), name=args.file)
+    result = encode_fsm(fsm, args.algorithm, effort=args.effort)
+    report = verify_encoded_machine(fsm, result.state_encoding, result.pla,
+                                    result.symbol_encoding)
+    print(f"algorithm : {args.algorithm}")
+    print(f"checked   : {report.checked_pairs} (state, input) pairs")
+    if report.ok:
+        print("verdict   : OK — encoded PLA matches the machine exactly")
+        return 0
+    print("verdict   : MISMATCH")
+    for m in report.mismatches[:20]:
+        print(f"  {m}")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nova",
+        description="NOVA state assignment (reproduction of Villa & "
+                    "Sangiovanni-Vincentelli, TCAD 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enc = sub.add_parser("encode", help="encode one machine")
+    enc.add_argument("file", nargs="?", help="KISS2 file")
+    enc.add_argument("--benchmark", help="benchmark machine name")
+    enc.add_argument("--algorithm", default="ihybrid", choices=ALGORITHMS)
+    enc.add_argument("--bits", type=int, default=None)
+    enc.add_argument("--effort", default="full", choices=("full", "low"))
+    enc.set_defaults(func=_cmd_encode)
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", type=int)
+    tab.add_argument("--subset", default="small",
+                     choices=("small", "paper30", "table5", "table7", "all"))
+    tab.set_defaults(func=_cmd_table)
+
+    lst = sub.add_parser("list", help="list benchmark machines")
+    lst.set_defaults(func=_cmd_list)
+
+    mini = sub.add_parser("minimize", help="minimize an espresso PLA file")
+    mini.add_argument("file")
+    mini.add_argument("--exact", action="store_true",
+                      help="exact (Quine-McCluskey) instead of heuristic")
+    mini.add_argument("--effort", default="full", choices=("full", "low"))
+    mini.set_defaults(func=_cmd_minimize)
+
+    ana = sub.add_parser("analyze", help="static analysis of a machine")
+    ana.add_argument("file", nargs="?", help="KISS2 file")
+    ana.add_argument("--benchmark", help="benchmark machine name")
+    ana.add_argument("--dot", help="write the STG as Graphviz to this file")
+    ana.set_defaults(func=_cmd_analyze)
+
+    ver = sub.add_parser("verify",
+                         help="encode and independently verify a machine")
+    ver.add_argument("file", nargs="?", help="KISS2 file")
+    ver.add_argument("--benchmark", help="benchmark machine name")
+    ver.add_argument("--algorithm", default="ihybrid", choices=ALGORITHMS)
+    ver.add_argument("--effort", default="full", choices=("full", "low"))
+    ver.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

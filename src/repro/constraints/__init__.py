@@ -1,0 +1,21 @@
+"""Constraint machinery: faces, input/output constraints, the input poset."""
+
+from repro.constraints.faces import Face, faces_of_level, min_level
+from repro.constraints.input_constraints import (
+    ConstraintSet,
+    extract_input_constraints,
+)
+from repro.constraints.poset import InputGraph, closure_intersection
+from repro.constraints.output_constraints import OutputCluster, OutputConstraints
+
+__all__ = [
+    "Face",
+    "faces_of_level",
+    "min_level",
+    "ConstraintSet",
+    "extract_input_constraints",
+    "InputGraph",
+    "closure_intersection",
+    "OutputCluster",
+    "OutputConstraints",
+]

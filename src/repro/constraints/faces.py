@@ -1,0 +1,184 @@
+"""Faces (subcubes) of the Boolean encoding k-cube.
+
+A face is a pair of bitmasks ``(care, val)`` over ``k`` positions: the
+positions set in ``care`` are fixed to the corresponding bit of ``val``;
+the others are free (``x``).  ``level`` is the number of free positions,
+so the face contains ``2**level`` vertices — matching the paper's
+*level* / *cardinality* terminology for the n-cube face-poset.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Optional
+
+
+class Face:
+    """An immutable face of the k-cube."""
+
+    __slots__ = ("k", "care", "val")
+
+    def __init__(self, k: int, care: int, val: int):
+        full = (1 << k) - 1
+        if care & ~full:
+            raise ValueError("care mask wider than the cube")
+        self.k = k
+        self.care = care
+        self.val = val & care  # normalize: value bits only where cared
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def vertex(cls, k: int, code: int) -> "Face":
+        """The level-0 face holding exactly *code*."""
+        return cls(k, (1 << k) - 1, code)
+
+    @classmethod
+    def universe(cls, k: int) -> "Face":
+        return cls(k, 0, 0)
+
+    @classmethod
+    def spanning(cls, k: int, codes) -> "Face":
+        """Smallest face containing all the given vertex codes (supercube)."""
+        codes = list(codes)
+        if not codes:
+            raise ValueError("spanning face of no codes")
+        ones = 0
+        zeros = 0
+        for c in codes:
+            ones |= c
+            zeros |= ~c
+        care = (1 << k) - 1 & ~(ones & zeros)
+        return cls(k, care, codes[0] & care)
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return self.k - bin(self.care).count("1")
+
+    @property
+    def cardinality(self) -> int:
+        return 1 << self.level
+
+    def contains_code(self, code: int) -> bool:
+        return (code ^ self.val) & self.care == 0
+
+    def contains(self, other: "Face") -> bool:
+        """Face inclusion: every vertex of *other* lies in this face."""
+        if other.k != self.k:
+            raise ValueError("faces of different cubes")
+        return (self.care & ~other.care) == 0 and \
+            (self.val ^ other.val) & self.care == 0
+
+    def intersect(self, other: "Face") -> Optional["Face"]:
+        """Intersection face, or None when disjoint."""
+        if (self.val ^ other.val) & self.care & other.care:
+            return None
+        return Face(self.k, self.care | other.care, self.val | other.val)
+
+    def vertices(self) -> Iterator[int]:
+        """Enumerate the codes of the face's vertices."""
+        free = [i for i in range(self.k) if not (self.care >> i) & 1]
+        for bits in range(1 << len(free)):
+            code = self.val
+            for j, pos in enumerate(free):
+                if (bits >> j) & 1:
+                    code |= 1 << pos
+            yield code
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Face)
+            and self.k == other.k
+            and self.care == other.care
+            and self.val == other.val
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.care, self.val))
+
+    def __repr__(self) -> str:
+        return f"Face({self})"
+
+    def __str__(self) -> str:
+        out = []
+        for i in range(self.k - 1, -1, -1):
+            if (self.care >> i) & 1:
+                out.append("1" if (self.val >> i) & 1 else "0")
+            else:
+                out.append("x")
+        return "".join(out)
+
+    @classmethod
+    def from_str(cls, text: str) -> "Face":
+        """Parse a face written MSB-first with 0/1/x characters."""
+        k = len(text)
+        care = 0
+        val = 0
+        for i, ch in enumerate(text):
+            bit = k - 1 - i
+            if ch in "01":
+                care |= 1 << bit
+                if ch == "1":
+                    val |= 1 << bit
+            elif ch != "x":
+                raise ValueError(f"bad face character {ch!r}")
+        return cls(k, care, val)
+
+
+def min_level(cardinality: int) -> int:
+    """Smallest face level able to hold *cardinality* vertices."""
+    if cardinality <= 1:
+        return 0
+    return (cardinality - 1).bit_length()
+
+
+def faces_of_level(k: int, level: int) -> Iterator[Face]:
+    """All faces of the k-cube with the given level, lexicographically.
+
+    Generation mirrors NOVA's ``genface``: all placements of the x
+    pattern, and for each placement all values of the care positions.
+    """
+    if level < 0 or level > k:
+        return
+    positions = list(range(k))
+    for free in combinations(positions, level):
+        care = (1 << k) - 1
+        for pos in free:
+            care &= ~(1 << pos)
+        care_positions = [p for p in positions if (care >> p) & 1]
+        for bits in range(1 << len(care_positions)):
+            val = 0
+            for j, pos in enumerate(care_positions):
+                if (bits >> j) & 1:
+                    val |= 1 << pos
+            yield Face(k, care, val)
+
+
+def subfaces(face: Face, level: int) -> Iterator[Face]:
+    """All faces of the given level strictly or equally inside *face*.
+
+    Produced lexicographically, mirroring ``genface`` restricted to the
+    subspace assigned to a category-3 constraint's father.
+    """
+    if level > face.level or level < 0:
+        return
+    free = [i for i in range(face.k) if not (face.care >> i) & 1]
+    keep = face.level - level  # how many positions get newly fixed
+    for fixed in combinations(free, keep):
+        care = face.care
+        for pos in fixed:
+            care |= 1 << pos
+        for bits in range(1 << keep):
+            val = face.val
+            for j, pos in enumerate(fixed):
+                if (bits >> j) & 1:
+                    val |= 1 << pos
+            yield Face(face.k, care, val)
+
+
+def count_faces_of_level(k: int, level: int) -> int:
+    """Number of faces of a given level in the k-cube: C(k,l) * 2^(k-l)."""
+    from math import comb
+
+    return comb(k, level) * (1 << (k - level))

@@ -1,0 +1,102 @@
+"""Input constraints: state groups produced by multiple-valued minimization.
+
+A constraint is a bitmask over the ``n`` symbols of one multiple-valued
+variable (bit *i* set = symbol *i* belongs to the group).  Its weight is
+the number of product terms of the minimized MV cover that carry it —
+the number of product terms saved in the final implementation when the
+constraint is satisfied (§IV of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.fsm.symbolic_cover import SymbolicCover
+from repro.logic.espresso import espresso
+
+
+@dataclass
+class ConstraintSet:
+    """Weighted input constraints over one MV variable with *n* symbols."""
+
+    n: int
+    weights: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, mask: int, weight: int = 1) -> None:
+        """Record *weight* more occurrences of the group *mask*.
+
+        Full groups (the universe) and singletons carry no encoding
+        information and are dropped.
+        """
+        universe = (1 << self.n) - 1
+        if mask == universe or mask & (mask - 1) == 0:
+            return
+        self.weights[mask] = self.weights.get(mask, 0) + weight
+
+    @property
+    def universe(self) -> int:
+        return (1 << self.n) - 1
+
+    def masks(self) -> List[int]:
+        return list(self.weights)
+
+    def by_weight(self) -> List[Tuple[int, int]]:
+        """(mask, weight) pairs, heaviest first, deterministic tie-break."""
+        return sorted(self.weights.items(), key=lambda mw: (-mw[1], mw[0]))
+
+    def total_weight(self) -> int:
+        return sum(self.weights.values())
+
+    def members(self, mask: int) -> Iterator[int]:
+        for i in range(self.n):
+            if (mask >> i) & 1:
+                yield i
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.weights)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self.weights
+
+
+@dataclass
+class ExtractionResult:
+    """Constraints extracted from one MV minimization of an FSM."""
+
+    state_constraints: ConstraintSet
+    symbol_constraints: Optional[ConstraintSet]
+    minimized_cover_size: int
+
+
+def extract_input_constraints(
+    sc: SymbolicCover, effort: str = "full"
+) -> ExtractionResult:
+    """Run MV minimization and collect the constraint groups.
+
+    The present-state field of every cube of the minimized cover with
+    two or more states set is an input constraint; when the machine has
+    a symbolic proper input, the symbol field is collected the same way
+    (the paper's starred examples encode inputs too).
+    """
+    off = sc.off if len(sc.off) else None
+    minimized = espresso(sc.on, sc.dc, off=off, effort=effort)
+    fsm = sc.fsm
+    states = ConstraintSet(fsm.num_states)
+    symbols = (
+        ConstraintSet(len(fsm.symbolic_input_values))
+        if fsm.has_symbolic_input
+        else None
+    )
+    for cube in minimized.cubes:
+        states.add(sc.state_field(cube))
+        if symbols is not None:
+            symbols.add(sc.symbol_field(cube))
+    return ExtractionResult(
+        state_constraints=states,
+        symbol_constraints=symbols,
+        minimized_cover_size=len(minimized),
+    )

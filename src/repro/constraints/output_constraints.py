@@ -1,0 +1,79 @@
+"""Output (covering) constraints from symbolic minimization (§VI).
+
+Symbolic minimization produces a weighted DAG on the next states: edge
+``(u, v)`` requires ``code(u)`` to bitwise cover ``code(v)``.  NOVA
+groups the edges into *clusters*: ``OC_i`` is the set of edges into next
+state *i*, with weight ``w_i`` (the product terms saved by satisfying
+the whole cluster) and a companion set of input constraints ``IC_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass
+class OutputCluster:
+    """Edges into one next state, with the companion input constraints."""
+
+    next_state: int
+    edges: List[Tuple[int, int]]  # (u, v): code(u) must cover code(v)
+    weight: int
+    companion_ic: List[int] = field(default_factory=list)  # IC_i masks
+
+
+@dataclass
+class OutputConstraints:
+    """The clustered (IC, OC) pair defined by a symbolic minimization."""
+
+    n: int  # number of states
+    clusters: List[OutputCluster] = field(default_factory=list)
+    free_ic: List[int] = field(default_factory=list)  # IC_o: proper-output ICs
+
+    def all_edges(self) -> List[Tuple[int, int]]:
+        return [e for cl in self.clusters for e in cl.edges]
+
+    def by_weight(self) -> List[OutputCluster]:
+        return sorted(self.clusters,
+                      key=lambda c: (-c.weight, c.next_state))
+
+    def is_empty(self) -> bool:
+        return not any(cl.edges for cl in self.clusters)
+
+    def total_weight(self) -> int:
+        return sum(cl.weight for cl in self.clusters)
+
+    def check_acyclic(self) -> bool:
+        """The covering DAG must stay acyclic for codes to exist."""
+        adj: Dict[int, List[int]] = {}
+        for u, v in self.all_edges():
+            adj.setdefault(u, []).append(v)
+        color: Dict[int, int] = {}
+
+        def dfs(u: int) -> bool:
+            color[u] = 1
+            for w in adj.get(u, ()):  # u covers w
+                if color.get(w) == 1:
+                    return False
+                if color.get(w, 0) == 0 and not dfs(w):
+                    return False
+            color[u] = 2
+            return True
+
+        return all(dfs(u) for u in list(adj) if color.get(u, 0) == 0)
+
+
+def edges_satisfied(codes: Dict[int, int],
+                    edges: Iterable[Tuple[int, int]]) -> bool:
+    """True when every covering edge holds strictly for the given codes.
+
+    ``(u, v)`` holds when code(u) bitwise covers code(v) and the codes
+    differ (the paper requires at least one position where u has 1 and
+    v has 0; with injective codes, covering implies that).
+    """
+    for u, v in edges:
+        cu, cv = codes[u], codes[v]
+        if cv & ~cu or cu == cv:
+            return False
+    return True

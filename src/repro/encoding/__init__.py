@@ -1,0 +1,33 @@
+"""NOVA's encoding algorithms: the paper's primary contribution."""
+
+from repro.encoding.base import Encoding, constraint_satisfied, satisfied_masks
+from repro.encoding.iexact import iexact_code, semiexact_code
+from repro.encoding.project import project_code
+from repro.encoding.ihybrid import ihybrid_code
+from repro.encoding.igreedy import igreedy_code
+from repro.encoding.iohybrid import iohybrid_code, iovariant_code
+from repro.encoding.out_encoder import out_encoder
+from repro.encoding.onehot import onehot_code, random_code
+from repro.encoding.nova import NovaResult, encode_fsm, ALGORITHMS
+from repro.encoding.verify import VerificationReport, verify_encoded_machine
+
+__all__ = [
+    "Encoding",
+    "constraint_satisfied",
+    "satisfied_masks",
+    "iexact_code",
+    "semiexact_code",
+    "project_code",
+    "ihybrid_code",
+    "igreedy_code",
+    "iohybrid_code",
+    "iovariant_code",
+    "out_encoder",
+    "onehot_code",
+    "random_code",
+    "NovaResult",
+    "encode_fsm",
+    "ALGORITHMS",
+    "VerificationReport",
+    "verify_encoded_machine",
+]

@@ -1,0 +1,83 @@
+"""`igreedy_code` (§V): fast bottom-up heuristic for short code lengths.
+
+The algorithm computes all intersections of the input constraints and
+encodes going upwards from the deepest: common subconstraints (proper
+subsets of two or more constraints) get faces first, so shared structure
+is preserved even when full constraints must be dropped.  There is no
+backtracking; a constraint that cannot be placed with the current
+partial assignment is simply skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.constraints.faces import faces_of_level, min_level
+from repro.constraints.input_constraints import ConstraintSet
+from repro.constraints.poset import closure_intersection
+from repro.encoding.base import Encoding
+from repro.fsm.machine import minimum_code_length
+
+
+def _try_place(
+    mask: int,
+    n: int,
+    k: int,
+    codes: Dict[int, int],
+) -> Optional[Dict[int, int]]:
+    """Try to host constraint *mask* in some face, extending *codes*.
+
+    A face is acceptable when it contains every already-coded member,
+    no already-coded non-member, and has enough free vertices for the
+    uncoded members.  Returns the new code assignments, or None.
+    """
+    members = [s for s in range(n) if (mask >> s) & 1]
+    coded = [s for s in members if s in codes]
+    uncoded = [s for s in members if s not in codes]
+    used = set(codes.values())
+    level = min_level(len(members))
+    for lvl in range(level, k):
+        for face in faces_of_level(k, lvl):
+            if any(not face.contains_code(codes[s]) for s in coded):
+                continue
+            conflict = False
+            for s, c in codes.items():
+                if not (mask >> s) & 1 and face.contains_code(c):
+                    conflict = True
+                    break
+            if conflict:
+                continue
+            free = [v for v in face.vertices() if v not in used]
+            if len(free) < len(uncoded):
+                continue
+            return {s: v for s, v in zip(uncoded, free)}
+        if not uncoded and not coded:
+            break
+    return None
+
+
+def igreedy_code(cs: ConstraintSet, nbits: Optional[int] = None) -> Encoding:
+    """Greedy bottom-up encoding; always returns a complete encoding."""
+    n = cs.n
+    min_bits = minimum_code_length(n)
+    k = min_bits if nbits is None else max(nbits, min_bits)
+
+    # deepest-first over the intersection closure: ties broken by the
+    # weight of the constraint (closure elements inherit weight 0)
+    closed = closure_intersection(n, cs.masks())
+    universe = (1 << n) - 1
+    targets = [m for m in closed if m != universe and m & (m - 1)]
+    targets.sort(key=lambda m: (bin(m).count("1"), -cs.weights.get(m, 0), m))
+
+    codes: Dict[int, int] = {}
+    for mask in targets:
+        placement = _try_place(mask, n, k, codes)
+        if placement is not None:
+            codes.update(placement)
+    # place leftover states on free codes
+    used = set(codes.values())
+    free = [c for c in range(1 << k) if c not in used]
+    for s in range(n):
+        if s not in codes:
+            codes[s] = free.pop(0)
+    return Encoding(k, [codes[s] for s in range(n)])

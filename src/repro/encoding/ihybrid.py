@@ -1,0 +1,79 @@
+"""`ihybrid_code` (§IV): greedy constraint selection over semiexact_code,
+then projection to mop up the rejected constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.encoding.base import Encoding, counting_sequence_code
+from repro.encoding.iexact import semiexact_code
+from repro.encoding.project import satisfy_all
+from repro.fsm.machine import minimum_code_length
+
+
+@dataclass
+class HybridStats:
+    """Table-VI style statistics of one ihybrid run."""
+
+    satisfied_weight: int = 0
+    unsatisfied_weight: int = 0
+    satisfied: List[int] = field(default_factory=list)
+    rejected: List[int] = field(default_factory=list)
+    final_bits: int = 0
+
+
+def ihybrid_code(
+    cs: ConstraintSet,
+    nbits: Optional[int] = None,
+    max_work: int = 20_000,
+    stats: Optional[HybridStats] = None,
+) -> Encoding:
+    """Maximize satisfied constraint weight within *nbits* (§IV pseudocode).
+
+    Constraints are offered heaviest-first to ``semiexact_code`` on the
+    minimum code length; accepted ones stay in SIC, rejected ones in
+    RIC.  If encoding space remains (``nbits`` above the minimum),
+    ``project_code`` grows the cube one dimension at a time, each
+    guaranteed to satisfy at least one more RIC constraint.
+    """
+    n = cs.n
+    min_bits = minimum_code_length(n)
+    if nbits is None:
+        nbits = min_bits
+    if nbits < min_bits:
+        raise ValueError(f"{nbits} bits cannot encode {n} states")
+
+    sic: List[int] = []
+    ric: List[int] = []
+    enc: Optional[Encoding] = None
+    for mask, _w in cs.by_weight():
+        attempt = semiexact_code(sic + [mask], n, min_bits, max_work=max_work)
+        if attempt is not None:
+            enc = attempt
+            sic.append(mask)
+        else:
+            ric.append(mask)
+    # second chance: a constraint rejected early may fit alongside the
+    # final SIC (the bounded search is order-sensitive); one extra pass
+    # over RIC recovers some of what the greedy order lost
+    retry = list(ric)
+    for mask in retry:
+        attempt = semiexact_code(sic + [mask], n, min_bits, max_work=max_work)
+        if attempt is not None:
+            enc = attempt
+            sic.append(mask)
+            ric.remove(mask)
+    if enc is None:
+        # rare pathological situation (paper §IV): fall back to a
+        # deterministic seed encoding so projection has a starting point
+        enc = counting_sequence_code(n, min_bits)
+    enc, sic, ric = satisfy_all(enc, sic, ric, cs, max_bits=nbits)
+    if stats is not None:
+        stats.satisfied = sic
+        stats.rejected = ric
+        stats.satisfied_weight = sum(cs.weights.get(m, 0) for m in sic)
+        stats.unsatisfied_weight = sum(cs.weights.get(m, 0) for m in ric)
+        stats.final_bits = enc.nbits
+    return enc

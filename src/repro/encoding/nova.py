@@ -1,0 +1,187 @@
+"""Top-level NOVA driver: FSM in, encoded + evaluated machine out.
+
+``encode_fsm(fsm, algorithm)`` runs the full pipeline of the paper:
+multiple-valued (or symbolic) minimization, constraint extraction, the
+selected encoding algorithm for the states — and for the symbolic
+proper input, when the machine has one — followed by re-minimization of
+the encoded cover and the PLA area measurement.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constraints.input_constraints import (
+    ConstraintSet,
+    extract_input_constraints,
+)
+from repro.encoding.base import Encoding, satisfied_weight
+from repro.encoding.iexact import iexact_code
+from repro.encoding.igreedy import igreedy_code
+from repro.encoding.ihybrid import HybridStats, ihybrid_code
+from repro.encoding.iohybrid import IoStats, iohybrid_code, iovariant_code
+from repro.encoding.onehot import onehot_code, random_code
+from repro.eval.area import pla_area
+from repro.eval.instantiate import EncodedPLA, evaluate_encoding
+from repro.fsm.machine import FSM
+from repro.fsm.symbolic_cover import build_symbolic_cover
+from repro.symbolic.symbolic_min import symbolic_minimize
+
+ALGORITHMS = (
+    "iexact",
+    "ihybrid",
+    "igreedy",
+    "iohybrid",
+    "iovariant",
+    "kiss",
+    "onehot",
+    "random",
+    "mustang",
+)
+
+
+@dataclass
+class NovaResult:
+    """Everything the paper's tables report about one encoding run."""
+
+    fsm: FSM
+    algorithm: str
+    state_encoding: Encoding
+    symbol_encoding: Optional[Encoding]
+    out_symbol_encoding: Optional[Encoding]
+    pla: Optional[EncodedPLA]
+    cubes: int
+    area: int
+    seconds: float
+    satisfied_weight: int = 0
+    unsatisfied_weight: int = 0
+    mv_cover_size: int = 0
+
+    @property
+    def bits(self) -> int:
+        """Total encoding bits (state + symbolic input), as in the tables."""
+        b = self.state_encoding.nbits
+        if self.symbol_encoding is not None:
+            b += self.symbol_encoding.nbits
+        return b
+
+
+def _encode_constraints(
+    cs: ConstraintSet,
+    algorithm: str,
+    nbits: Optional[int],
+    fsm: FSM,
+    rng: Optional[random.Random],
+    stats: Optional[HybridStats] = None,
+) -> Encoding:
+    """Dispatch the chosen input-constraint algorithm on one variable."""
+    if algorithm == "iexact":
+        enc = iexact_code(cs)
+        if enc is None:
+            raise RuntimeError(
+                f"iexact_code gave up on {fsm.name} (search budget exhausted)"
+            )
+        return enc
+    if algorithm == "ihybrid":
+        return ihybrid_code(cs, nbits=nbits, stats=stats)
+    if algorithm == "igreedy":
+        return igreedy_code(cs, nbits=nbits)
+    if algorithm == "kiss":
+        from repro.baselines.kiss import kiss_code
+
+        return kiss_code(cs)
+    if algorithm == "random":
+        return random_code(cs.n, nbits=nbits, rng=rng)
+    if algorithm == "onehot":
+        return onehot_code(cs.n)
+    raise ValueError(f"unknown constraint algorithm {algorithm!r}")
+
+
+def encode_fsm(
+    fsm: FSM,
+    algorithm: str = "ihybrid",
+    nbits: Optional[int] = None,
+    effort: str = "full",
+    rng: Optional[random.Random] = None,
+    evaluate: bool = True,
+    mustang_option: str = "p",
+) -> NovaResult:
+    """Run the full NOVA pipeline on *fsm* with the chosen algorithm."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; "
+                         f"choose from {ALGORITHMS}")
+    t0 = time.perf_counter()
+    sc = build_symbolic_cover(fsm)
+    hstats = HybridStats()
+    iostats = IoStats()
+    symbol_enc: Optional[Encoding] = None
+    out_symbol_enc: Optional[Encoding] = None
+    mv_size = 0
+    if fsm.has_symbolic_output:
+        from repro.encoding.osym import out_symbol_encoding
+
+        out_symbol_enc = out_symbol_encoding(sc, effort=effort)
+
+    if algorithm == "mustang":
+        from repro.baselines.mustang import mustang_code
+
+        enc = mustang_code(fsm, option=mustang_option, nbits=nbits)
+        if fsm.has_symbolic_input:
+            extraction = extract_input_constraints(sc, effort=effort)
+            symbol_enc = ihybrid_code(extraction.symbol_constraints)
+            mv_size = extraction.minimized_cover_size
+        sat = unsat = 0
+    elif algorithm in ("iohybrid", "iovariant"):
+        sym = symbolic_minimize(sc, effort=effort)
+        cs = sym.input_constraints
+        coder = iohybrid_code if algorithm == "iohybrid" else iovariant_code
+        enc = coder(cs, sym.output_constraints, nbits=nbits, stats=iostats)
+        if fsm.has_symbolic_input:
+            symbol_enc = ihybrid_code(sym.symbol_constraints)
+        mv_size = sym.final_cover_size
+        sat = sum(cs.weights.get(m, 0) for m in iostats.satisfied_ic)
+        unsat = sum(cs.weights.get(m, 0) for m in iostats.rejected_ic)
+    else:
+        extraction = extract_input_constraints(sc, effort=effort)
+        cs = extraction.state_constraints
+        mv_size = extraction.minimized_cover_size
+        enc = _encode_constraints(cs, algorithm, nbits, fsm, rng, hstats)
+        if fsm.has_symbolic_input:
+            symbol_enc = _encode_constraints(
+                extraction.symbol_constraints, algorithm, None, fsm, rng
+            )
+        sat = satisfied_weight(enc, cs)
+        unsat = cs.total_weight() - sat
+
+    pla: Optional[EncodedPLA] = None
+    if algorithm == "onehot" and not evaluate:
+        cubes = mv_size
+        ibits = len(fsm.symbolic_input_values) if fsm.has_symbolic_input else 0
+        area = pla_area(fsm.num_inputs + ibits, fsm.num_states,
+                        fsm.num_outputs + len(fsm.symbolic_output_values),
+                        cubes)
+    elif evaluate:
+        pla = evaluate_encoding(fsm, enc, symbol_enc, out_symbol_enc,
+                                effort=effort)
+        cubes = pla.num_cubes
+        area = pla.area
+    else:
+        cubes = 0
+        area = 0
+    return NovaResult(
+        fsm=fsm,
+        algorithm=algorithm,
+        state_encoding=enc,
+        symbol_encoding=symbol_enc,
+        out_symbol_encoding=out_symbol_enc,
+        pla=pla,
+        cubes=cubes,
+        area=area,
+        seconds=time.perf_counter() - t0,
+        satisfied_weight=sat,
+        unsatisfied_weight=unsat,
+        mv_cover_size=mv_size,
+    )

@@ -1,0 +1,104 @@
+"""Encoding of symbolic proper outputs (the paper's §VII future work).
+
+When the output part of the machine is symbolic, its values must be
+assigned Boolean codes too (an encoding problem of class B).  The
+technique mirrors symbolic minimization: minimize each output symbol's
+on-set against the others as don't cares, accept the stage when it
+shrinks the cover, and collect *covering* relations — symbol *u* must
+bitwise cover symbol *v* when u's minimized implicants overlap v's
+rows.  The dominance DAG is then realized constructively by
+:func:`repro.encoding.out_encoder.out_encoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.encoding.base import Encoding
+from repro.encoding.out_encoder import out_encoder
+from repro.fsm.machine import minimum_code_length
+from repro.fsm.symbolic_cover import SymbolicCover
+from repro.logic.cover import Cover
+from repro.logic.espresso import espresso
+
+
+def output_symbol_dominance(
+    sc: SymbolicCover, effort: str = "full"
+) -> List[Tuple[int, int]]:
+    """Covering edges ``(u, v)`` — code(u) must cover code(v)."""
+    fsm = sc.fsm
+    n_osym = sc.num_out_symbol_parts
+    if n_osym == 0:
+        return []
+    fmt = sc.fmt
+    base = sc.num_next_parts + fsm.num_outputs
+    on_sets: Dict[int, List[int]] = {i: [] for i in range(n_osym)}
+    for cube in sc.on.cubes:
+        out = fmt.field(cube, sc.output_var)
+        for i in range(n_osym):
+            if (out >> (base + i)) & 1:
+                on_sets[i].append(cube)
+
+    covers_adj: Dict[int, Set[int]] = {}
+
+    def has_path(src: int, dst: int) -> bool:
+        stack = [src]
+        seen = set()
+        while stack:
+            u = stack.pop()
+            if u == dst:
+                return True
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(covers_adj.get(u, ()))
+        return False
+
+    order = sorted(range(n_osym), key=lambda i: (-len(on_sets[i]), i))
+    full_mask = (1 << fmt.parts[sc.output_var]) - 1
+    for i in order:
+        on_i = on_sets[i]
+        if not on_i:
+            continue
+        col = 1 << (base + i)
+        dc_cubes = list(sc.dc.cubes)
+        off_cubes = []
+        for j in range(n_osym):
+            if j == i or not on_sets[j]:
+                continue
+            rows = [fmt.with_field(c, sc.output_var, col)
+                    for c in on_sets[j]]
+            if has_path(i, j):
+                off_cubes.extend(rows)
+            else:
+                dc_cubes.extend(rows)
+        on = Cover(fmt, (fmt.with_field(c, sc.output_var, col)
+                         for c in on_i))
+        mb = espresso(on, Cover(fmt, dc_cubes),
+                      off=Cover(fmt, off_cubes) if off_cubes else None,
+                      effort=effort)
+        if len(mb) < len(on_i):
+            widened = [fmt.with_field(c, sc.output_var, full_mask)
+                       for c in mb.cubes]
+            for j in range(n_osym):
+                if j == i or not on_sets[j]:
+                    continue
+                if any(fmt.intersects(w, fmt.with_field(r, sc.output_var,
+                                                        full_mask))
+                       for w in widened for r in on_sets[j]):
+                    covers_adj.setdefault(j, set()).add(i)
+    return sorted((u, v) for u, vs in covers_adj.items() for v in vs)
+
+
+def out_symbol_encoding(sc: SymbolicCover,
+                        effort: str = "full") -> Encoding:
+    """Codes for the machine's output symbols (dominance-aware)."""
+    n_osym = sc.num_out_symbol_parts
+    if n_osym == 0:
+        raise ValueError("machine has no symbolic output")
+    edges = output_symbol_dominance(sc, effort=effort)
+    enc = out_encoder(n_osym, edges)
+    min_bits = minimum_code_length(n_osym)
+    if enc.nbits < min_bits:
+        enc = Encoding(min_bits, enc.codes)
+    return enc

@@ -1,0 +1,66 @@
+"""`out_encoder`: pure output-constraint satisfaction (Saldanha's encoder).
+
+Used by iohybrid_code in the unusual case IC = ∅ (§6.2.1).  Codes are
+built constructively along a topological order of the dominance DAG:
+each state's code is the bitwise OR of the codes it must cover; when
+that collides with an existing code, a fresh distinguishing bit is
+added.  The construction always succeeds for an acyclic constraint set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.encoding.base import Encoding
+
+
+def out_encoder(n: int, edges: Iterable[Tuple[int, int]]) -> Encoding:
+    """Encode *n* states so that code(u) covers code(v) for every edge."""
+    edges = list(edges)
+    must_cover: Dict[int, List[int]] = {s: [] for s in range(n)}
+    for u, v in edges:
+        must_cover[u].append(v)
+    # topological order: states covering nothing first
+    order: List[int] = []
+    temp: Dict[int, int] = {}
+
+    def visit(u: int) -> None:
+        if temp.get(u) == 2:
+            return
+        if temp.get(u) == 1:
+            raise ValueError("output covering constraints contain a cycle")
+        temp[u] = 1
+        for v in must_cover[u]:
+            visit(v)
+        temp[u] = 2
+        order.append(u)
+
+    for s in range(n):
+        visit(s)
+
+    codes: Dict[int, int] = {}
+    used = set()
+    width = 1
+    for s in order:
+        base = 0
+        for v in must_cover[s]:
+            base |= codes[v]
+        code = base
+        # dominance imposes only lower bounds, so a collision may be
+        # resolved with any unused superset -- search the current code
+        # width exhaustively (smallest superset first) before widening
+        while code in used:
+            candidates = sorted(
+                (c for c in range(1 << width)
+                 if c & base == base and c not in used),
+                key=lambda c: (bin(c).count("1"), c),
+            )
+            if candidates:
+                code = candidates[0]
+            else:
+                width += 1
+        codes[s] = code
+        used.add(code)
+        width = max(width, code.bit_length())
+    nbits = max(1, max(codes.values()).bit_length())
+    return Encoding(nbits, [codes[s] for s in range(n)])

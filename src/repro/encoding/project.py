@@ -1,0 +1,76 @@
+"""`project_code`: constraint satisfaction by growing the encoding cube (§4.2).
+
+Proposition 4.2.1: given an encoding of length *l* satisfying a set of
+constraints C, padding every state's code with a 1 when the state
+belongs to an arbitrary further constraint c (0 otherwise) yields a
+length *l+1* encoding satisfying C ∪ {c}.  ``project_code`` applies the
+construction greedily — heaviest unsatisfied constraint first — and
+opportunistically collects any other constraints the raise happens to
+satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.encoding.base import Encoding, constraint_satisfied
+
+
+def raise_for_constraint(enc: Encoding, mask: int) -> Encoding:
+    """One application of the Proposition 4.2.1 construction."""
+    bits = [1 if (mask >> s) & 1 else 0 for s in range(enc.n)]
+    return Encoding(enc.nbits + 1, [c | (b << enc.nbits)
+                                    for c, b in zip(enc.codes, bits)])
+
+
+def project_code(
+    enc: Encoding,
+    sic: List[int],
+    ric: List[int],
+    cs: ConstraintSet,
+) -> Tuple[Encoding, List[int]]:
+    """Grow the cube by one dimension and satisfy >= 1 more constraint.
+
+    Returns the new encoding and the list of newly satisfied
+    constraints (moved from RIC to SIC by the caller).  The target
+    constraint is the heaviest of RIC; per the paper's heuristic, when
+    several targets tie we prefer the one whose raise involves states
+    frequent in the other unsatisfied constraints, making incidental
+    satisfaction more likely.
+    """
+    if not ric:
+        raise ValueError("project_code called with no unsatisfied constraints")
+    freq = [0] * cs.n
+    for m in ric:
+        for s in cs.members(m):
+            freq[s] += 1
+
+    def preference(mask: int) -> Tuple[int, int, int]:
+        weight = cs.weights.get(mask, 1)
+        popularity = sum(freq[s] for s in cs.members(mask))
+        return (-weight, -popularity, mask)
+
+    target = min(ric, key=preference)
+    grown = raise_for_constraint(enc, target)
+    newly = [m for m in ric if constraint_satisfied(grown, m)]
+    if target not in newly:  # guaranteed by Prop 4.2.1; guard regardless
+        newly.append(target)
+    return grown, newly
+
+
+def satisfy_all(
+    enc: Encoding,
+    sic: List[int],
+    ric: List[int],
+    cs: ConstraintSet,
+    max_bits: Optional[int] = None,
+) -> Tuple[Encoding, List[int], List[int]]:
+    """Repeat project_code until RIC is empty or the bit budget is spent."""
+    sic = list(sic)
+    ric = list(ric)
+    while ric and (max_bits is None or enc.nbits < max_bits):
+        enc, newly = project_code(enc, sic, ric, cs)
+        sic.extend(newly)
+        ric = [m for m in ric if m not in set(newly)]
+    return enc, sic, ric

@@ -1,0 +1,14 @@
+"""Evaluation: PLA instantiation, area model, multilevel literal counts."""
+
+from repro.eval.instantiate import EncodedPLA, instantiate, evaluate_encoding
+from repro.eval.area import pla_area
+from repro.eval.multilevel import factored_literals, multilevel_literals
+
+__all__ = [
+    "EncodedPLA",
+    "instantiate",
+    "evaluate_encoding",
+    "pla_area",
+    "factored_literals",
+    "multilevel_literals",
+]

@@ -1,0 +1,19 @@
+"""The PLA area model of the paper's tables.
+
+``area = (2*(#inputs + #bits) + #bits + #outputs) * #cubes``
+
+where ``#inputs`` counts the binary PLA inputs other than the state
+lines (primary inputs plus encoded symbolic-input bits), ``#bits`` is
+the state code length, and ``#outputs`` the number of primary outputs.
+Every input column contributes two PLA columns (true and complemented
+lines); every output column one.
+"""
+
+from __future__ import annotations
+
+
+def pla_area(num_inputs: int, state_bits: int, num_outputs: int,
+             num_cubes: int) -> int:
+    """Area of a PLA implementing the encoded FSM."""
+    return (2 * (num_inputs + state_bits) + state_bits + num_outputs) \
+        * num_cubes

@@ -1,0 +1,175 @@
+"""Instantiate an encoding: encoded PLA cover, minimization, final area.
+
+Given state (and optional symbolic-input) codes, the original state
+transition table is translated into a binary multi-output cover —
+present-state code bits become PLA inputs, next-state code bits join the
+outputs — the unused code points are added to the don't-care set, and
+the cover is re-minimized with the espresso substrate, exactly as the
+paper's evaluation flow (encode, then "running ESPRESSO again to obtain
+the final area of the encoded FSM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.encoding.base import Encoding
+from repro.eval.area import pla_area
+from repro.fsm.machine import FSM
+from repro.logic.cover import Cover
+from repro.logic.cube import Format
+from repro.logic.espresso import espresso
+from repro.logic.urp import complement
+
+
+@dataclass
+class EncodedPLA:
+    """The minimized two-level implementation of an encoded FSM."""
+
+    fsm: FSM
+    state_bits: int
+    input_bits: int  # binary primary inputs + encoded symbolic-input bits
+    cover: Cover
+    on: Cover
+    dc: Cover
+    off: Cover
+    out_bits: int = 0  # encoded symbolic-output bits
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cover)
+
+    @property
+    def num_output_columns(self) -> int:
+        return self.fsm.num_outputs + self.out_bits
+
+    @property
+    def area(self) -> int:
+        return pla_area(self.input_bits, self.state_bits,
+                        self.num_output_columns, self.num_cubes)
+
+
+def _code_fields(code: int, bits: int) -> List[int]:
+    """Positional binary fields (01/10) for each bit of *code*."""
+    return [2 if (code >> b) & 1 else 1 for b in range(bits)]
+
+
+def _unused_code_cubes(codes: List[int], bits: int) -> List[List[int]]:
+    """Field lists covering the unused code points, via complement."""
+    fmt = Format([2] * bits) if bits else None
+    if fmt is None:
+        return []
+    used = Cover(fmt, (fmt.cube_from_fields(_code_fields(c, bits))
+                       for c in codes))
+    unused = complement(used)
+    return [[fmt.field(c, v) for v in range(bits)] for c in unused.cubes]
+
+
+def instantiate(
+    fsm: FSM,
+    enc: Encoding,
+    symbol_enc: Optional[Encoding] = None,
+    out_symbol_enc: Optional[Encoding] = None,
+) -> tuple:
+    """Encoded (on, dc, off) covers plus layout counts.
+
+    Returns ``(on, dc, off, input_bits, state_bits, out_bits)``.
+    """
+    if enc.n != fsm.num_states:
+        raise ValueError("encoding size does not match the machine")
+    if fsm.has_symbolic_input:
+        if symbol_enc is None:
+            raise ValueError(f"{fsm.name} needs a symbolic-input encoding")
+        if symbol_enc.n != len(fsm.symbolic_input_values):
+            raise ValueError("symbol encoding size mismatch")
+    if fsm.has_symbolic_output:
+        if out_symbol_enc is None:
+            raise ValueError(f"{fsm.name} needs a symbolic-output encoding")
+        if out_symbol_enc.n != len(fsm.symbolic_output_values):
+            raise ValueError("output-symbol encoding size mismatch")
+    sbits = enc.nbits
+    ibits = symbol_enc.nbits if symbol_enc is not None else 0
+    obits = out_symbol_enc.nbits if out_symbol_enc is not None else 0
+    n_in = fsm.num_inputs
+    parts = [2] * (n_in + ibits + sbits) + [sbits + fsm.num_outputs + obits]
+    fmt = Format(parts)
+    out_var = fmt.num_vars - 1
+
+    on = Cover(fmt)
+    dc = Cover(fmt)
+    off = Cover(fmt)
+    full_state = (1 << sbits) - 1
+    for t in fsm.transitions:
+        fields = [{"0": 1, "1": 2, "-": 3}[ch] for ch in t.inputs]
+        if symbol_enc is not None:
+            fields += _code_fields(symbol_enc.code_of(
+                fsm.symbol_index(t.symbol)), ibits)
+        if t.present == "*":
+            fields += [3] * sbits
+        else:
+            fields += _code_fields(enc.code_of(fsm.state_index(t.present)),
+                                   sbits)
+        on_out = 0
+        dc_out = 0
+        off_out = 0
+        if t.next == "*":
+            dc_out |= full_state
+        else:
+            ncode = enc.code_of(fsm.state_index(t.next))
+            on_out |= ncode
+            off_out |= full_state & ~ncode
+        for j, ch in enumerate(t.outputs):
+            if ch == "1":
+                on_out |= 1 << (sbits + j)
+            elif ch == "-":
+                dc_out |= 1 << (sbits + j)
+            else:
+                off_out |= 1 << (sbits + j)
+        if out_symbol_enc is not None:
+            ocode = out_symbol_enc.code_of(
+                fsm.out_symbol_index(t.out_symbol))
+            base = sbits + fsm.num_outputs
+            on_out |= ocode << base
+            off_out |= (((1 << obits) - 1) & ~ocode) << base
+        if on_out:
+            on.append(fmt.cube_from_fields(fields + [on_out]))
+        if dc_out:
+            dc.append(fmt.cube_from_fields(fields + [dc_out]))
+        if off_out:
+            off.append(fmt.cube_from_fields(fields + [off_out]))
+
+    # unused state codes (and unused symbol codes) are global don't cares
+    all_outputs = (1 << (sbits + fsm.num_outputs + obits)) - 1
+    for ufields in _unused_code_cubes(enc.used_codes(), sbits):
+        fields = [3] * (n_in + ibits) + ufields + [all_outputs]
+        dc.append(fmt.cube_from_fields(fields))
+    if symbol_enc is not None:
+        for ufields in _unused_code_cubes(symbol_enc.used_codes(), ibits):
+            fields = [3] * n_in + ufields + [3] * sbits + [all_outputs]
+            dc.append(fmt.cube_from_fields(fields))
+    return on, dc, off, n_in + ibits, sbits, obits
+
+
+def evaluate_encoding(
+    fsm: FSM,
+    enc: Encoding,
+    symbol_enc: Optional[Encoding] = None,
+    out_symbol_enc: Optional[Encoding] = None,
+    effort: str = "full",
+) -> EncodedPLA:
+    """Encode, re-minimize, and measure the final PLA."""
+    on, dc, off, input_bits, state_bits, out_bits = instantiate(
+        fsm, enc, symbol_enc, out_symbol_enc)
+    minimized = espresso(on, dc=dc, off=off if len(off) else None,
+                         effort=effort)
+    return EncodedPLA(
+        fsm=fsm,
+        state_bits=state_bits,
+        input_bits=input_bits,
+        cover=minimized,
+        on=on,
+        dc=dc,
+        off=off,
+        out_bits=out_bits,
+    )

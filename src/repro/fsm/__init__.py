@@ -1,0 +1,22 @@
+"""Finite state machine substrate: representation, KISS2 I/O, benchmarks."""
+
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.fsm.symbolic_cover import SymbolicCover, build_symbolic_cover
+from repro.fsm.benchmarks import benchmark, benchmark_names, benchmark_table
+from repro.fsm.analysis import StgStats, analyze, to_dot
+
+__all__ = [
+    "FSM",
+    "Transition",
+    "parse_kiss",
+    "to_kiss",
+    "SymbolicCover",
+    "build_symbolic_cover",
+    "benchmark",
+    "benchmark_names",
+    "benchmark_table",
+    "StgStats",
+    "analyze",
+    "to_dot",
+]

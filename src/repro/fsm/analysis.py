@@ -1,0 +1,150 @@
+"""Static analysis of state transition tables.
+
+Utilities a state-assignment flow needs around the core algorithms:
+reachability from the reset state, dead/unreachable state detection,
+determinism (row overlap) checking, completeness measurement, state
+transition graph statistics, and Graphviz export for inspection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fsm.machine import FSM, Transition
+
+
+def _row_inputs_overlap(a: Transition, b: Transition) -> bool:
+    if a.symbol != b.symbol:
+        return False
+    return all(x == "-" or y == "-" or x == y
+               for x, y in zip(a.inputs, b.inputs))
+
+
+def transition_graph(fsm: FSM) -> Dict[str, Set[str]]:
+    """Successor sets over state names (``*`` rows are ignored)."""
+    adj: Dict[str, Set[str]] = {s: set() for s in fsm.states}
+    for t in fsm.transitions:
+        if t.present == "*" or t.next == "*":
+            continue
+        adj[t.present].add(t.next)
+    return adj
+
+
+def reachable_states(fsm: FSM, start: Optional[str] = None) -> Set[str]:
+    """States reachable from *start* (default: the reset state)."""
+    start = start or fsm.reset or fsm.states[0]
+    adj = transition_graph(fsm)
+    seen = {start}
+    stack = [start]
+    while stack:
+        s = stack.pop()
+        for n in adj[s]:
+            if n not in seen:
+                seen.add(n)
+                stack.append(n)
+    return seen
+
+
+def unreachable_states(fsm: FSM) -> List[str]:
+    """States no path from reset reaches (candidates for removal)."""
+    reach = reachable_states(fsm)
+    return [s for s in fsm.states if s not in reach]
+
+
+def nondeterministic_pairs(fsm: FSM) -> List[Tuple[Transition, Transition]]:
+    """Row pairs of one present state whose input cubes overlap but whose
+    next state or outputs conflict."""
+    out = []
+    by_state: Dict[str, List[Transition]] = {}
+    for t in fsm.transitions:
+        states = fsm.states if t.present == "*" else [t.present]
+        for s in states:
+            by_state.setdefault(s, []).append(t)
+    for rows in by_state.values():
+        for a, b in itertools.combinations(rows, 2):
+            if not _row_inputs_overlap(a, b):
+                continue
+            same_next = a.next == b.next or "*" in (a.next, b.next)
+            outs_ok = all(
+                x == y or "-" in (x, y)
+                for x, y in zip(a.outputs, b.outputs)
+            )
+            if not (same_next and outs_ok):
+                out.append((a, b))
+    return out
+
+
+def is_deterministic(fsm: FSM) -> bool:
+    return not nondeterministic_pairs(fsm)
+
+
+def specification_coverage(fsm: FSM) -> float:
+    """Fraction of (state, input minterm) pairs with a specified row."""
+    n_inputs = fsm.num_inputs
+    symbols = fsm.symbolic_input_values or [None]
+    total = 0
+    covered = 0
+    for state in fsm.states:
+        for symbol in symbols:
+            for bits in itertools.product("01", repeat=n_inputs):
+                total += 1
+                if fsm.next_state_of(state, "".join(bits),
+                                     symbol=symbol) is not None:
+                    covered += 1
+    return covered / total if total else 1.0
+
+
+@dataclass
+class StgStats:
+    """Summary statistics of the state transition graph."""
+
+    states: int
+    transitions: int
+    reachable: int
+    max_fan_in: int
+    max_fan_out: int
+    self_loops: int
+    deterministic: bool
+    coverage: float
+
+
+def analyze(fsm: FSM) -> StgStats:
+    """Full static analysis of a machine (see :class:`StgStats`)."""
+    adj = transition_graph(fsm)
+    fan_in: Dict[str, int] = {s: 0 for s in fsm.states}
+    self_loops = 0
+    for s, nxts in adj.items():
+        for n in nxts:
+            fan_in[n] += 1
+            if n == s:
+                self_loops += 1
+    return StgStats(
+        states=fsm.num_states,
+        transitions=len(fsm.transitions),
+        reachable=len(reachable_states(fsm)),
+        max_fan_in=max(fan_in.values(), default=0),
+        max_fan_out=max((len(v) for v in adj.values()), default=0),
+        self_loops=self_loops,
+        deterministic=is_deterministic(fsm),
+        coverage=specification_coverage(fsm),
+    )
+
+
+def to_dot(fsm: FSM) -> str:
+    """Graphviz text of the state transition graph."""
+    lines = [f'digraph "{fsm.name}" {{', "  rankdir=LR;"]
+    if fsm.reset:
+        lines.append(f'  "{fsm.reset}" [shape=doublecircle];')
+    for t in fsm.transitions:
+        if t.present == "*" or t.next == "*":
+            continue
+        label = t.inputs or (t.symbol or "")
+        if t.symbol and t.inputs:
+            label = f"{t.symbol},{t.inputs}"
+        lines.append(
+            f'  "{t.present}" -> "{t.next}" [label="{label}/{t.outputs}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,203 @@
+"""The benchmark suite of the paper (Table I plus the Table V extras).
+
+Machines come from two sources, per DESIGN.md §5:
+
+* **structured builders** — small classics whose behaviour is well known
+  (shift register, modulo counter, sensor counters of the lion/train
+  family) are constructed exactly;
+* **deterministic generation** — the remaining machines are synthesized
+  by :mod:`repro.fsm.generator` to match the published interface
+  statistics (inputs / outputs / states / product terms).  The dk*
+  machines carry a symbolic proper input, as in the paper (the starred
+  rows of Tables II-IV encode inputs as well as states).
+
+``benchmark(name)`` returns a cached FSM; ``benchmark_names(subset)``
+lists the machines of each experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.generator import generate_fsm
+
+# name -> (binary inputs, symbolic values, outputs, states, target products)
+_SPECS: Dict[str, Tuple[int, int, int, int, int]] = {
+    "bbara": (4, 0, 2, 10, 60),
+    "bbsse": (7, 0, 7, 16, 56),
+    "bbtas": (2, 0, 2, 6, 24),
+    "beecount": (3, 0, 4, 7, 28),
+    "cse": (7, 0, 7, 16, 91),
+    "dk14": (0, 8, 5, 7, 56),
+    "dk15": (0, 8, 5, 4, 32),
+    "dk16": (0, 4, 3, 27, 108),
+    "dk17": (0, 4, 3, 8, 32),
+    "dk27": (0, 2, 2, 7, 14),
+    "dk512": (0, 2, 3, 15, 30),
+    "dol": (2, 0, 1, 8, 20),
+    "donfile": (2, 0, 1, 24, 96),
+    "ex1": (9, 0, 19, 20, 138),
+    "ex2": (2, 0, 2, 19, 72),
+    "ex3": (2, 0, 2, 10, 36),
+    "ex5": (2, 0, 2, 9, 32),
+    "ex6": (5, 0, 8, 8, 34),
+    "iofsm": (6, 0, 4, 10, 20),
+    "keyb": (7, 0, 2, 19, 170),
+    "mark1": (5, 0, 16, 15, 22),
+    "physrec": (12, 0, 7, 11, 38),
+    "planet": (7, 0, 19, 48, 115),
+    "s1": (8, 0, 6, 20, 107),
+    "sand": (11, 0, 9, 32, 184),
+    "scf": (27, 0, 56, 121, 166),
+    "scud": (7, 0, 6, 8, 86),
+    "styr": (9, 0, 10, 30, 166),
+    "tav": (4, 0, 4, 4, 49),
+    "tbk": (6, 0, 3, 32, 170),
+}
+
+# the 30 machines of Table I, ordered by increasing number of states as
+# in the paper's summary plots (Tables VIII-X)
+PAPER30: List[str] = [
+    "dk15", "bbtas", "beecount", "dk14", "dk27", "dk17", "ex6", "scud",
+    "shiftreg", "ex5", "bbara", "ex3", "iofsm", "physrec", "train11",
+    "dk512", "mark1", "bbsse", "cse", "ex2", "keyb", "ex1", "s1",
+    "donfile", "dk16", "styr", "sand", "tbk", "planet", "scf",
+]
+
+# the 19 machines of Table V (iohybrid vs Cappuccino/Cream)
+TABLE5: List[str] = [
+    "bbtas", "cse", "lion", "lion9", "modulo12", "planet", "s1", "sand",
+    "shiftreg", "styr", "tav", "train11", "dol", "dk14", "dk15", "dk16",
+    "dk17", "dk27", "dk512",
+]
+
+# the 24 machines of Table VII (MUSTANG comparison)
+TABLE7: List[str] = [
+    "dk14", "dk15", "dk16", "ex1", "ex2", "ex3", "bbara", "bbsse",
+    "bbtas", "beecount", "cse", "donfile", "keyb", "mark1", "physrec",
+    "planet", "s1", "sand", "scf", "scud", "shiftreg", "styr", "tbk",
+    "train11",
+]
+
+# machines small enough for quick CI-style runs of every experiment
+SMALL: List[str] = [
+    "lion", "train4", "dk15", "bbtas", "beecount", "dk27", "shiftreg",
+    "lion9", "ex5", "ex3", "modulo12", "train11", "dol",
+]
+
+# machines whose pure-Python minimization needs reduced espresso effort
+LOW_EFFORT: List[str] = ["scf", "tbk", "sand", "styr", "planet", "s1", "keyb",
+                         "ex1", "donfile", "dk16"]
+
+
+def _shiftreg() -> FSM:
+    """Exact 3-bit shift register: 8 states, serial in, serial out."""
+    states = [f"s{i}" for i in range(8)]
+    rows = []
+    for i in range(8):
+        for x in (0, 1):
+            nxt = ((i << 1) | x) & 7
+            out = (i >> 2) & 1
+            rows.append(Transition(inputs=str(x), present=states[i],
+                                   next=states[nxt], outputs=str(out)))
+    return FSM("shiftreg", 1, 1, states, rows, reset="s0")
+
+
+def _modulo12() -> FSM:
+    """Exact modulo-12 counter: advance on 1, assert output at wrap."""
+    states = [f"s{i}" for i in range(12)]
+    rows = []
+    for i in range(12):
+        rows.append(Transition(inputs="0", present=states[i],
+                               next=states[i], outputs="0"))
+        nxt = (i + 1) % 12
+        rows.append(Transition(inputs="1", present=states[i],
+                               next=states[nxt], outputs="1" if nxt == 0 else "0"))
+    return FSM("modulo12", 1, 1, states, rows, reset="s0")
+
+
+def _sensor_counter(name: str, n: int, full: bool) -> FSM:
+    """Lion/train-family occupancy counter over two sensors.
+
+    Counts up on input 01, down on 10; output 1 while the count is
+    non-zero.  ``full=True`` also specifies the 11 input (trains), while
+    the lion machines leave it mostly unspecified (don't care).
+    """
+    states = [f"st{i}" for i in range(n)]
+    rows: List[Transition] = []
+
+    def add(i: int, pat: str, nxt: int, out: str) -> None:
+        rows.append(Transition(inputs=pat, present=states[i],
+                               next=states[nxt], outputs=out))
+
+    for i in range(n):
+        out = "0" if i == 0 else "1"
+        add(i, "00", i, out)
+        if i + 1 < n:
+            add(i, "01", i + 1, "1")
+        if i > 0:
+            add(i, "10", i - 1, "1" if i > 1 else "0")
+        if full and (n <= 4 or i == 0):
+            add(i, "11", i, out)
+    if not full:
+        # one explicit hold row on 11 in the idle state (as in MCNC lion)
+        add(0, "11", 0, "0")
+    return FSM(name, 2, 1, states, rows, reset=states[0])
+
+
+_BUILDERS = {
+    "shiftreg": _shiftreg,
+    "modulo12": _modulo12,
+    "lion": lambda: _sensor_counter("lion", 4, full=False),
+    "lion9": lambda: _sensor_counter("lion9", 9, full=False),
+    "train4": lambda: _sensor_counter("train4", 4, full=True),
+    "train11": lambda: _sensor_counter("train11", 11, full=True),
+}
+
+_CACHE: Dict[str, FSM] = {}
+
+
+def benchmark_names(subset: str = "paper30") -> List[str]:
+    """Names of the machines in a named experiment subset."""
+    subsets = {
+        "paper30": PAPER30,
+        "table5": TABLE5,
+        "table7": TABLE7,
+        "small": SMALL,
+        "all": sorted(set(PAPER30) | set(TABLE5) | set(_BUILDERS)),
+    }
+    if subset not in subsets:
+        raise ValueError(f"unknown benchmark subset {subset!r}")
+    return list(subsets[subset])
+
+
+def benchmark(name: str) -> FSM:
+    """Return the benchmark FSM called *name* (cached)."""
+    if name in _CACHE:
+        return _CACHE[name]
+    if name in _BUILDERS:
+        fsm = _BUILDERS[name]()
+    elif name in _SPECS:
+        ni, sym, no, ns, np_ = _SPECS[name]
+        fsm = generate_fsm(name, ni, no, ns, np_, symbolic_values=sym)
+    else:
+        raise KeyError(f"unknown benchmark {name!r}")
+    _CACHE[name] = fsm
+    return fsm
+
+
+def is_low_effort(name: str) -> bool:
+    """True when this machine should use reduced minimization effort."""
+    return name in LOW_EFFORT
+
+
+def benchmark_table(subset: str = "paper30") -> List[Dict[str, int]]:
+    """Table-I statistics rows for the machines of *subset*."""
+    rows = []
+    for name in benchmark_names(subset):
+        fsm = benchmark(name)
+        row = {"name": name}
+        row.update(fsm.stats())
+        rows.append(row)
+    return rows

@@ -1,0 +1,196 @@
+"""Deterministic synthetic FSM generation.
+
+The MCNC benchmark files evaluated in the paper are not distributable
+with this reproduction, so machines other than the hand-written small
+classics are generated deterministically (seeded by name) to match the
+published interface statistics — number of binary inputs, symbolic
+input values, outputs, states, and product terms.
+
+Realism matters more than randomness here.  Real controllers have the
+two properties NOVA's evaluation depends on:
+
+* **clustered states** — groups of states that behave identically under
+  many input conditions (a controller in several wait states reacts to
+  an error or a restart the same way).  Under multiple-valued
+  minimization these groups merge into single cubes, and because the
+  *same* group recurs for many input conditions, the resulting input
+  constraint carries a large weight (the paper's Table VI reports
+  weights up to 44);
+* **Moore-style outputs** — outputs that are a function of the next
+  state, so rows funnelling into one state also share outputs and are
+  mergeable at all.
+
+The generator therefore draws a global partition of the input space
+(controllers branch on the same conditions everywhere), groups states
+into behaviour clusters, and makes a cluster react uniformly to a
+condition with high probability.  Symbolic-input machines (the dk*
+family) use their symbol values as the conditions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.fsm.machine import FSM, Transition
+
+
+def _split_input_space(num_inputs: int, groups: int,
+                       rng: random.Random) -> List[str]:
+    """Partition the binary input space into *groups* disjoint cubes."""
+    patterns = ["-" * num_inputs]
+    if num_inputs == 0:
+        return patterns
+    while len(patterns) < groups:
+        # split the pattern with the most don't cares to keep cubes balanced
+        idx = max(range(len(patterns)), key=lambda i: patterns[i].count("-"))
+        pat = patterns[idx]
+        free = [i for i, ch in enumerate(pat) if ch == "-"]
+        if not free:
+            break  # space fully split into minterms
+        pos = rng.choice(free)
+        patterns[idx] = pat[:pos] + "0" + pat[pos + 1:]
+        patterns.append(pat[:pos] + "1" + pat[pos + 1:])
+    return patterns
+
+
+def _moore_output(next_idx: int, num_outputs: int, num_states: int,
+                  rng: random.Random) -> str:
+    """Outputs as a strict function of the next state (plus rare DC)."""
+    if num_outputs == 0:
+        return ""
+    span = max(1, num_states.bit_length())
+    bits = []
+    for j in range(num_outputs):
+        base = (next_idx * (j + 3) + (next_idx >> (j % span))) & 1
+        bits.append("-" if rng.random() < 0.04 else ("1" if base else "0"))
+    return "".join(bits)
+
+
+def _repair_reachability(nxt: List[List[int]], cluster_of: List[int],
+                         shared: dict, rng: random.Random) -> None:
+    """Redirect individual rows so every state is reachable from state 0.
+
+    Rows belonging to a cluster-shared reaction are avoided where
+    possible, so the group structure (and the constraint weights it
+    produces) survives the repair.
+    """
+    num_states = len(nxt)
+    conditions = range(len(nxt[0]))
+
+    def reach() -> List[int]:
+        seen = {0}
+        stack = [0]
+        while stack:
+            s = stack.pop()
+            for g in conditions:
+                n = nxt[s][g]
+                if n not in seen:
+                    seen.add(n)
+                    stack.append(n)
+        return sorted(seen)
+
+    for _ in range(4 * num_states):
+        reachable = set(reach())
+        missing = [s for s in range(num_states) if s not in reachable]
+        if not missing:
+            return
+        target = missing[0]
+        # prefer redirecting a non-shared row of a reachable state; a
+        # redirect must not disconnect previously reachable states
+        candidates = [
+            (s, g) for s in sorted(reachable) for g in conditions
+            if (cluster_of[s], g) not in shared
+        ] + [(s, g) for s in sorted(reachable) for g in conditions]
+        rng.shuffle(candidates)
+        for s, g in candidates:
+            old = nxt[s][g]
+            nxt[s][g] = target
+            if reachable <= set(reach()):
+                break
+            nxt[s][g] = old  # redirect disconnected something: revert
+
+
+def generate_fsm(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_states: int,
+    num_products: int,
+    symbolic_values: int = 0,
+    seed: Optional[int] = None,
+) -> FSM:
+    """Generate a deterministic, fully specified synthetic FSM.
+
+    ``num_products`` is a target; the generated machine comes close to
+    it (the row count is ``num_states * ceil(num_products/num_states)``
+    for binary-input machines and ``num_states * symbolic_values`` for
+    symbolic ones, as in the fully specified dk* files).
+    """
+    if seed is None:
+        seed = sum(ord(c) * 131 ** i for i, c in enumerate(name)) & 0xFFFFFFFF
+    rng = random.Random(seed)
+    states = [f"s{i}" for i in range(num_states)]
+    symbols = [f"v{i}" for i in range(symbolic_values)] if symbolic_values \
+        else []
+
+    if symbols:
+        conditions = list(range(symbolic_values))
+        patterns = None
+    else:
+        groups = max(1, round(num_products / num_states))
+        patterns = _split_input_space(num_inputs, groups, rng)
+        conditions = list(range(len(patterns)))
+
+    # behaviour clusters: states in one cluster react identically to a
+    # condition with high probability
+    n_clusters = max(2, num_states // 3)
+    cluster_of = [rng.randrange(n_clusters) for _ in range(num_states)]
+    funnels = sorted(rng.sample(range(num_states),
+                                k=max(1, num_states // 5)))
+
+    # per (cluster, condition): either a shared reaction (next state for
+    # the whole cluster) or None (state-individual behaviour)
+    shared: dict = {}
+    for c in range(n_clusters):
+        for g in conditions:
+            if rng.random() < 0.55:
+                shared[(c, g)] = funnels[(c + g) % len(funnels)] \
+                    if rng.random() < 0.6 else rng.randrange(num_states)
+
+    def next_of(si: int, g: int) -> int:
+        key = (cluster_of[si], g)
+        if key in shared:
+            return shared[key]
+        r = rng.random()
+        if r < 0.45:
+            return (si + 1) % num_states  # sequential progress
+        if r < 0.65:
+            return si  # wait state
+        window = max(2, num_states // 3)
+        return (si + rng.randrange(-window, window + 1)) % num_states
+
+    nxt = [[next_of(si, g) for g in conditions] for si in range(num_states)]
+    _repair_reachability(nxt, cluster_of, shared, rng)
+
+    transitions: List[Transition] = []
+    for si in range(num_states):
+        for g in conditions:
+            ni = nxt[si][g]
+            out = _moore_output(ni, num_outputs, num_states, rng)
+            transitions.append(Transition(
+                inputs=patterns[g] if patterns else "",
+                present=states[si],
+                next=states[ni],
+                outputs=out,
+                symbol=symbols[g] if symbols else None,
+            ))
+    return FSM(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        states=states,
+        transitions=transitions,
+        reset=states[0],
+        symbolic_input_values=symbols,
+    )

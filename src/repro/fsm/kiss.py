@@ -1,0 +1,117 @@
+"""KISS2 format reader/writer.
+
+Supports the standard directives (``.i .o .p .s .r .e``) plus one
+extension: ``.sym v1 v2 ...`` declares a symbolic input variable with
+the listed values; each transition row then starts with a symbol value
+before the binary input pattern.  Plain KISS2 files round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fsm.machine import FSM, Transition
+
+
+def parse_kiss(text: str, name: str = "fsm") -> FSM:
+    """Parse KISS2 text into an :class:`FSM`."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    reset: Optional[str] = None
+    symbolic: List[str] = []
+    symbolic_out: List[str] = []
+    rows: List[Transition] = []
+    state_order: List[str] = []
+    seen = set()
+
+    def note_state(s: str) -> None:
+        if s != "*" and s not in seen:
+            seen.add(s)
+            state_order.append(s)
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = int(parts[1])
+            elif directive == ".o":
+                num_outputs = int(parts[1])
+            elif directive == ".r":
+                reset = parts[1]
+            elif directive == ".sym":
+                symbolic = parts[1:]
+            elif directive == ".symout":
+                symbolic_out = parts[1:]
+            elif directive in (".p", ".s", ".e", ".ilb", ".ob", ".start_kiss",
+                               ".end_kiss"):
+                continue  # counts are recomputed; labels ignored
+            else:
+                raise ValueError(f"unknown KISS directive {directive!r}")
+            continue
+        parts = line.split()
+        osym = None
+        if symbolic_out:
+            if len(parts) < 2:
+                raise ValueError(f"bad KISS row: {line!r}")
+            osym = parts[-1]
+            parts = parts[:-1]
+        if symbolic:
+            if len(parts) != 5:
+                raise ValueError(f"bad KISS row (expected 5 fields): {line!r}")
+            sym, inp, ps, ns, out = parts
+        else:
+            if len(parts) != 4:
+                raise ValueError(f"bad KISS row (expected 4 fields): {line!r}")
+            inp, ps, ns, out = parts
+            sym = None
+        if num_inputs == 0 and inp == "-":
+            inp = ""  # placeholder used for machines with no binary inputs
+        if num_outputs == 0 and out == "-":
+            out = ""  # machines whose only outputs are symbolic
+        note_state(ps)
+        note_state(ns)
+        rows.append(Transition(inputs=inp, present=ps, next=ns, outputs=out,
+                               symbol=sym, out_symbol=osym))
+
+    if num_inputs is None or num_outputs is None:
+        raise ValueError("KISS text missing .i/.o directives")
+    if reset is not None and reset in seen:
+        # put the reset state first, as NOVA/SIS do
+        state_order.remove(reset)
+        state_order.insert(0, reset)
+    return FSM(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        states=state_order,
+        transitions=rows,
+        reset=reset,
+        symbolic_input_values=symbolic,
+        symbolic_output_values=symbolic_out,
+    )
+
+
+def to_kiss(fsm: FSM) -> str:
+    """Serialize an :class:`FSM` back to KISS2 text."""
+    lines = [f".i {fsm.num_inputs}", f".o {fsm.num_outputs}",
+             f".p {len(fsm.transitions)}", f".s {fsm.num_states}"]
+    if fsm.reset is not None:
+        lines.append(f".r {fsm.reset}")
+    if fsm.has_symbolic_input:
+        lines.append(".sym " + " ".join(fsm.symbolic_input_values))
+    if fsm.has_symbolic_output:
+        lines.append(".symout " + " ".join(fsm.symbolic_output_values))
+    for t in fsm.transitions:
+        fields = []
+        if t.symbol is not None:
+            fields.append(t.symbol)
+        fields.extend([t.inputs or "-", t.present, t.next, t.outputs or "-"])
+        if t.out_symbol is not None:
+            fields.append(t.out_symbol)
+        lines.append(" ".join(f for f in fields if f))
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

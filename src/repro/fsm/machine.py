@@ -1,0 +1,182 @@
+"""State-transition-table representation of synchronous FSMs.
+
+The model follows the KISS2 conventions used by NOVA/SIS: a machine is a
+list of transitions, each with a (possibly don't-care) binary input
+pattern, a symbolic present state, a symbolic next state, and a
+(possibly don't-care) binary output pattern.  Machines may additionally
+carry one *symbolic input* variable (the ``dk*`` benchmarks of the paper
+encode proper inputs as well as states); a transition then names a
+symbol value instead of part of the binary pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_PATTERN_CHARS = set("01-")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of a state transition table."""
+
+    inputs: str  # binary input pattern over 0/1/-
+    present: str  # present state name ('*' = any state)
+    next: str  # next state name ('*' = unspecified / don't care)
+    outputs: str  # output pattern over 0/1/-
+    symbol: Optional[str] = None  # value of the symbolic input, if any
+    out_symbol: Optional[str] = None  # value of the symbolic output, if any
+
+    def __post_init__(self) -> None:
+        if set(self.inputs) - _PATTERN_CHARS:
+            raise ValueError(f"bad input pattern {self.inputs!r}")
+        if set(self.outputs) - _PATTERN_CHARS:
+            raise ValueError(f"bad output pattern {self.outputs!r}")
+
+
+@dataclass
+class FSM:
+    """A finite state machine given by its state transition table."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    states: List[str]
+    transitions: List[Transition]
+    reset: Optional[str] = None
+    symbolic_input_values: List[str] = field(default_factory=list)
+    symbolic_output_values: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def has_symbolic_input(self) -> bool:
+        return bool(self.symbolic_input_values)
+
+    @property
+    def has_symbolic_output(self) -> bool:
+        return bool(self.symbolic_output_values)
+
+    def state_index(self, name: str) -> int:
+        return self._state_idx[name]
+
+    def symbol_index(self, name: str) -> int:
+        return self._symbol_idx[name]
+
+    def out_symbol_index(self, name: str) -> int:
+        return self._out_symbol_idx[name]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the table is well formed (names, widths, reset state)."""
+        if len(set(self.states)) != len(self.states):
+            raise ValueError(f"{self.name}: duplicate state names")
+        self._state_idx: Dict[str, int] = {s: i for i, s in enumerate(self.states)}
+        self._symbol_idx: Dict[str, int] = {
+            s: i for i, s in enumerate(self.symbolic_input_values)
+        }
+        self._out_symbol_idx: Dict[str, int] = {
+            s: i for i, s in enumerate(self.symbolic_output_values)
+        }
+        if self.reset is not None and self.reset not in self._state_idx:
+            raise ValueError(f"{self.name}: unknown reset state {self.reset!r}")
+        for t in self.transitions:
+            if len(t.inputs) != self.num_inputs:
+                raise ValueError(
+                    f"{self.name}: input pattern {t.inputs!r} should have "
+                    f"{self.num_inputs} bits"
+                )
+            if len(t.outputs) != self.num_outputs:
+                raise ValueError(
+                    f"{self.name}: output pattern {t.outputs!r} should have "
+                    f"{self.num_outputs} bits"
+                )
+            if t.present != "*" and t.present not in self._state_idx:
+                raise ValueError(f"{self.name}: unknown present state {t.present!r}")
+            if t.next != "*" and t.next not in self._state_idx:
+                raise ValueError(f"{self.name}: unknown next state {t.next!r}")
+            if self.has_symbolic_input:
+                if t.symbol is None or t.symbol not in self._symbol_idx:
+                    raise ValueError(
+                        f"{self.name}: transition needs a symbolic input value"
+                    )
+            elif t.symbol is not None:
+                raise ValueError(f"{self.name}: machine has no symbolic input")
+            if self.has_symbolic_output:
+                if t.out_symbol is None or \
+                        t.out_symbol not in self._out_symbol_idx:
+                    raise ValueError(
+                        f"{self.name}: transition needs a symbolic "
+                        f"output value"
+                    )
+            elif t.out_symbol is not None:
+                raise ValueError(
+                    f"{self.name}: machine has no symbolic output")
+
+    # ------------------------------------------------------------------
+    def is_completely_specified(self) -> bool:
+        """True when every (input minterm, state) pair has a transition."""
+        span = {}
+        for t in self.transitions:
+            states = self.states if t.present == "*" else [t.present]
+            n = 1
+            for ch in t.inputs:
+                n *= 2 if ch == "-" else 1
+            for s in states:
+                span[s] = span.get(s, 0) + n * (
+                    len(self.symbolic_input_values) if t.symbol is None and
+                    self.has_symbolic_input else 1
+                )
+        full = (1 << self.num_inputs) * max(1, len(self.symbolic_input_values))
+        # note: overlapping rows make this an over-count; the check is a
+        # cheap necessary condition used by tests on generated machines
+        return all(span.get(s, 0) >= full for s in self.states)
+
+    def next_state_of(self, state: str, input_bits: str,
+                      symbol: Optional[str] = None) -> Optional[Tuple[str, str]]:
+        """Simulate one step: return (next state, outputs) or None."""
+        t = self.matching_row(state, input_bits, symbol)
+        return None if t is None else (t.next, t.outputs)
+
+    def matching_row(self, state: str, input_bits: str,
+                     symbol: Optional[str] = None) -> Optional[Transition]:
+        """First transition row matching a (state, input) point."""
+        for t in self.transitions:
+            if t.present not in ("*", state):
+                continue
+            if self.has_symbolic_input and t.symbol != symbol:
+                continue
+            if all(p in ("-", b) for p, b in zip(t.inputs, input_bits)):
+                return t
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        """Table-I style statistics for this machine."""
+        return {
+            "inputs": self.num_inputs + (1 if self.has_symbolic_input else 0),
+            "outputs": self.num_outputs
+            + (1 if self.has_symbolic_output else 0),
+            "states": self.num_states,
+            "products": len(self.transitions),
+        }
+
+    def __repr__(self) -> str:
+        sym = f", sym={len(self.symbolic_input_values)}" if self.has_symbolic_input else ""
+        return (
+            f"FSM({self.name!r}: {self.num_inputs} in, {self.num_outputs} out, "
+            f"{self.num_states} states, {len(self.transitions)} rows{sym})"
+        )
+
+
+def minimum_code_length(n: int) -> int:
+    """Minimum number of encoding bits for *n* symbols (ceil(log2 n), >= 1)."""
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()

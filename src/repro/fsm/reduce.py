@@ -1,0 +1,122 @@
+"""State minimization by partition refinement.
+
+State assignment assumes a state-minimized machine (NOVA sits after
+state reduction in the SIS flow).  For completely specified,
+deterministic machines the classical Moore/Hopcroft partition
+refinement applies: start from output-equivalence classes and split
+until successor classes stabilize.
+
+Incompletely specified machines are handled conservatively: two states
+are only merged when their specified behaviours agree everywhere both
+are specified *and* neither row set leaves the other's class — this is
+compatible (not minimum) reduction, which is all the encoding flow
+needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.fsm.machine import FSM, Transition
+
+
+def _behaviour(fsm: FSM, state: str) -> List[Tuple[str, Optional[str],
+                                                   Optional[str], str]]:
+    """Responses of a state to every input point: (key, next, outputs)."""
+    out = []
+    symbols = fsm.symbolic_input_values or [None]
+    for symbol in symbols:
+        for bits in itertools.product("01", repeat=fsm.num_inputs):
+            pattern = "".join(bits)
+            r = fsm.next_state_of(state, pattern, symbol=symbol)
+            key = f"{symbol or ''}:{pattern}"
+            if r is None:
+                out.append((key, None, None, ""))
+            else:
+                out.append((key, r[0], None, r[1]))
+    return out
+
+
+def _outputs_compatible(a: str, b: str) -> bool:
+    return all(x == y or "-" in (x, y) for x, y in zip(a, b))
+
+
+def equivalent_state_classes(fsm: FSM) -> List[List[str]]:
+    """Partition of the states into behavioural equivalence classes.
+
+    Exact for completely specified machines; conservative (may keep
+    mergeable states apart) when rows are unspecified.
+    """
+    behaviours = {s: _behaviour(fsm, s) for s in fsm.states}
+
+    # initial partition: by output responses (None = unspecified agrees
+    # with nothing but itself, which keeps the reduction conservative)
+    def out_signature(state: str) -> Tuple:
+        return tuple((key, outs if nxt is not None else None)
+                     for key, nxt, _, outs in behaviours[state])
+
+    classes: Dict[Tuple, List[str]] = {}
+    for s in fsm.states:
+        classes.setdefault(out_signature(s), []).append(s)
+    partition = list(classes.values())
+
+    changed = True
+    while changed:
+        changed = False
+        class_of = {}
+        for ci, members in enumerate(partition):
+            for s in members:
+                class_of[s] = ci
+
+        def next_signature(state: str) -> Tuple:
+            return tuple(
+                (key, class_of[nxt] if nxt is not None else None)
+                for key, nxt, _, _outs in behaviours[state]
+            )
+
+        new_partition: List[List[str]] = []
+        for members in partition:
+            buckets: Dict[Tuple, List[str]] = {}
+            for s in members:
+                buckets.setdefault(next_signature(s), []).append(s)
+            if len(buckets) > 1:
+                changed = True
+            new_partition.extend(buckets.values())
+        partition = new_partition
+    return [sorted(c, key=fsm.state_index) for c in partition]
+
+
+def minimize_states(fsm: FSM) -> FSM:
+    """Merged machine: one representative state per equivalence class."""
+    partition = equivalent_state_classes(fsm)
+    rep: Dict[str, str] = {}
+    for members in partition:
+        leader = members[0]
+        for s in members:
+            rep[s] = leader
+    if all(len(c) == 1 for c in partition):
+        return fsm  # already minimal
+
+    kept = [s for s in fsm.states if rep[s] == s]
+    rows: List[Transition] = []
+    seen = set()
+    for t in fsm.transitions:
+        if t.present != "*" and rep[t.present] != t.present:
+            continue  # merged away; the leader's rows speak for the class
+        nxt = t.next if t.next == "*" else rep[t.next]
+        row = Transition(inputs=t.inputs, present=t.present, next=nxt,
+                         outputs=t.outputs, symbol=t.symbol)
+        key = (row.inputs, row.present, row.next, row.outputs, row.symbol)
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+    return FSM(
+        name=f"{fsm.name}_min",
+        num_inputs=fsm.num_inputs,
+        num_outputs=fsm.num_outputs,
+        states=kept,
+        transitions=rows,
+        reset=rep[fsm.reset] if fsm.reset else None,
+        symbolic_input_values=list(fsm.symbolic_input_values),
+    )

@@ -1,0 +1,133 @@
+"""Build the multiple-valued symbolic cover of an FSM's combinational logic.
+
+Layout of the positional cube (ESPRESSO-MV convention):
+
+* one 2-part variable per binary primary input;
+* one MV variable for the symbolic proper input (if the machine has one);
+* one MV variable with ``num_states`` parts for the *present state*;
+* one output variable whose parts are: the 1-hot *next state* columns
+  followed by the binary primary output columns.
+
+Rows whose next state is unspecified (``*``) contribute their next-state
+columns to the don't-care set; output ``-`` entries likewise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.fsm.machine import FSM
+from repro.logic.cube import Format
+from repro.logic.cover import Cover
+
+
+@dataclass
+class SymbolicCover:
+    """The MV cover of an FSM plus the layout bookkeeping."""
+
+    fsm: FSM
+    fmt: Format
+    on: Cover
+    dc: Cover
+    off: Cover
+    state_var: int  # index of the present-state MV variable
+    symbol_var: Optional[int]  # index of the symbolic-input variable
+    output_var: int  # index of the output variable
+    num_next_parts: int  # leading parts of the output var = next-state columns
+    num_out_symbol_parts: int = 0  # trailing 1-hot symbolic-output columns
+
+    def state_field(self, cube: int) -> int:
+        """Present-state part of a cube (bit i <-> state i)."""
+        return self.fmt.field(cube, self.state_var)
+
+    def symbol_field(self, cube: int) -> Optional[int]:
+        if self.symbol_var is None:
+            return None
+        return self.fmt.field(cube, self.symbol_var)
+
+    def next_state_of_cube(self, cube: int) -> Optional[int]:
+        """Index of the (single) next state a cube asserts, if any."""
+        out = self.fmt.field(cube, self.output_var)
+        ns = out & ((1 << self.num_next_parts) - 1)
+        if ns == 0:
+            return None
+        if ns & (ns - 1):
+            raise ValueError("cube asserts more than one next state")
+        return ns.bit_length() - 1
+
+
+def _input_fields(fsm: FSM, t, fmt: Format) -> List[int]:
+    fields = []
+    for ch in t.inputs:
+        fields.append({"0": 1, "1": 2, "-": 3}[ch])
+    if fsm.has_symbolic_input:
+        fields.append(1 << fsm.symbol_index(t.symbol))
+    return fields
+
+
+def build_symbolic_cover(fsm: FSM) -> SymbolicCover:
+    """Translate the state transition table into an MV on/dc cover pair."""
+    n = fsm.num_states
+    parts: List[int] = [2] * fsm.num_inputs
+    symbol_var: Optional[int] = None
+    if fsm.has_symbolic_input:
+        symbol_var = len(parts)
+        parts.append(len(fsm.symbolic_input_values))
+    state_var = len(parts)
+    parts.append(n)
+    output_var = len(parts)
+    num_next_parts = n
+    n_outsym = len(fsm.symbolic_output_values)
+    parts.append(n + fsm.num_outputs + n_outsym)
+    fmt = Format(parts)
+
+    on = Cover(fmt)
+    dc = Cover(fmt)
+    off = Cover(fmt)
+    for t in fsm.transitions:
+        fields = _input_fields(fsm, t, fmt)
+        if t.present == "*":
+            fields.append((1 << n) - 1)
+        else:
+            fields.append(1 << fsm.state_index(t.present))
+        on_out = 0
+        dc_out = 0
+        off_out = 0
+        if t.next == "*":
+            dc_out |= (1 << n) - 1
+        else:
+            ns = 1 << fsm.state_index(t.next)
+            on_out |= ns
+            off_out |= ((1 << n) - 1) & ~ns  # a deterministic row denies
+            # every other next state on its minterms
+        for j, ch in enumerate(t.outputs):
+            if ch == "1":
+                on_out |= 1 << (n + j)
+            elif ch == "-":
+                dc_out |= 1 << (n + j)
+            else:
+                off_out |= 1 << (n + j)
+        if n_outsym:
+            base = n + fsm.num_outputs
+            osym = 1 << (base + fsm.out_symbol_index(t.out_symbol))
+            on_out |= osym
+            off_out |= (((1 << n_outsym) - 1) << base) & ~osym
+        if on_out:
+            on.append(fmt.cube_from_fields(fields + [on_out]))
+        if dc_out:
+            dc.append(fmt.cube_from_fields(fields + [dc_out]))
+        if off_out:
+            off.append(fmt.cube_from_fields(fields + [off_out]))
+    return SymbolicCover(
+        fsm=fsm,
+        fmt=fmt,
+        on=on,
+        dc=dc,
+        off=off,
+        state_var=state_var,
+        symbol_var=symbol_var,
+        output_var=output_var,
+        num_next_parts=num_next_parts,
+        num_out_symbol_parts=n_outsym,
+    )

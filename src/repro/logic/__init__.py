@@ -1,0 +1,30 @@
+"""Two-level and multiple-valued logic substrate.
+
+This package is a from-scratch reimplementation of the parts of
+ESPRESSO-MV that NOVA depends on: positional-cube covers over mixed
+binary / multiple-valued variables, the unate-recursive paradigm
+(tautology, complement), and the EXPAND / REDUCE / IRREDUNDANT
+minimization loop, including ``minimize(on, dc, off)`` with an explicit
+off-set as required by symbolic minimization.
+"""
+
+from repro.logic.cube import Format
+from repro.logic.cover import Cover
+from repro.logic.espresso import espresso, minimize
+from repro.logic.exact import all_primes, exact_minimize
+from repro.logic.pla_io import PLA, parse_pla, write_pla
+from repro.logic.verify import covers_equivalent, verify_minimization
+
+__all__ = [
+    "Format",
+    "Cover",
+    "espresso",
+    "minimize",
+    "all_primes",
+    "exact_minimize",
+    "PLA",
+    "parse_pla",
+    "write_pla",
+    "covers_equivalent",
+    "verify_minimization",
+]

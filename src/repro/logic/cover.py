@@ -1,0 +1,143 @@
+"""Covers: sets of positional cubes sharing one :class:`~repro.logic.cube.Format`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.logic.cube import Format
+
+
+class Cover:
+    """An ordered list of non-empty cubes over a common format.
+
+    The class is deliberately lightweight: cubes are plain integers and
+    most algorithms work on ``cover.cubes`` directly.  Methods that
+    return covers always return new objects; nothing mutates in place
+    except :meth:`append`.
+    """
+
+    __slots__ = ("fmt", "cubes")
+
+    def __init__(self, fmt: Format, cubes: Optional[Iterable[int]] = None):
+        self.fmt = fmt
+        self.cubes: List[int] = []
+        if cubes is not None:
+            for c in cubes:
+                self.append(c)
+
+    # ------------------------------------------------------------------
+    # basic container behaviour
+    # ------------------------------------------------------------------
+    def append(self, cube: int) -> None:
+        """Append *cube*, silently dropping empty cubes."""
+        if not self.fmt.is_empty(cube):
+            self.cubes.append(cube)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cubes)
+
+    def __getitem__(self, idx: int) -> int:
+        return self.cubes[idx]
+
+    def copy(self) -> "Cover":
+        out = Cover(self.fmt)
+        out.cubes = list(self.cubes)
+        return out
+
+    def __add__(self, other: "Cover") -> "Cover":
+        if other.fmt != self.fmt:
+            raise ValueError("cannot concatenate covers with different formats")
+        out = self.copy()
+        out.cubes.extend(other.cubes)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Cover({len(self.cubes)} cubes, {self.fmt!r})"
+
+    def to_strings(self) -> List[str]:
+        return [self.fmt.cube_to_str(c) for c in self.cubes]
+
+    # ------------------------------------------------------------------
+    # cover algebra
+    # ------------------------------------------------------------------
+    def cofactor(self, against: int) -> "Cover":
+        """Cofactor every cube against *against*, dropping empty results."""
+        fmt = self.fmt
+        out = Cover(fmt)
+        raise_mask = fmt.universe & ~against
+        for c in self.cubes:
+            if fmt.intersects(c, against):
+                out.cubes.append(c | raise_mask)
+        return out
+
+    def intersect_cube(self, cube: int) -> "Cover":
+        """Intersect every cube with *cube*, dropping empty results."""
+        fmt = self.fmt
+        out = Cover(fmt)
+        for c in self.cubes:
+            r = c & cube
+            if not fmt.is_empty(r):
+                out.cubes.append(r)
+        return out
+
+    def single_cube_containment(self) -> "Cover":
+        """Drop every cube contained in another single cube of the cover."""
+        # sort by decreasing minterm count so containers come first
+        fmt = self.fmt
+        order = sorted(self.cubes, key=fmt.minterm_count, reverse=True)
+        kept: List[int] = []
+        for c in order:
+            if any(c & ~k == 0 for k in kept):
+                continue
+            kept.append(c)
+        out = Cover(fmt)
+        out.cubes = kept
+        return out
+
+    def contains_cube(self, cube: int) -> bool:
+        """True when the cover covers every minterm of *cube*."""
+        from repro.logic.urp import tautology
+
+        return tautology(self.cofactor(cube))
+
+    def covers(self, other: "Cover") -> bool:
+        """True when this cover covers every cube of *other*."""
+        return all(self.contains_cube(c) for c in other.cubes)
+
+    def complement(self) -> "Cover":
+        """Complement of the cover (unate-recursive paradigm)."""
+        from repro.logic.urp import complement
+
+        return complement(self)
+
+    def is_tautology(self) -> bool:
+        from repro.logic.urp import tautology
+
+        return tautology(self)
+
+    # ------------------------------------------------------------------
+    # cost measures
+    # ------------------------------------------------------------------
+    def literal_cost(self) -> int:
+        """Total number of *care* positions: lower is a better cover."""
+        fmt = self.fmt
+        cost = 0
+        for c in self.cubes:
+            for v in range(fmt.num_vars):
+                f = fmt.field(c, v)
+                full = (1 << fmt.parts[v]) - 1
+                if f != full:
+                    cost += bin(full & ~f).count("1")
+        return cost
+
+    def cost(self) -> tuple:
+        """(#cubes, literal cost) — the espresso improvement criterion."""
+        return (len(self.cubes), self.literal_cost())
+
+
+def from_strings(fmt: Format, rows: Sequence[str]) -> Cover:
+    """Build a cover from :meth:`Format.cube_to_str`-style rows."""
+    return Cover(fmt, (fmt.cube_from_str(r) for r in rows))

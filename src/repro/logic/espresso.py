@@ -1,0 +1,172 @@
+"""ESPRESSO-style heuristic two-level minimization (EXPAND / REDUCE / IRREDUNDANT).
+
+Two validity oracles are supported for EXPAND:
+
+* an explicit off-set (as in ``minimize(on, dc, off)`` used by NOVA's
+  symbolic minimization loop) — a raise is legal when the grown cube
+  stays at distance >= 1 from every off-cube;
+* no off-set — a raise is legal when the grown cube is still an
+  implicant of ``on + dc``, decided by a tautology call.  This avoids
+  computing a global complement, which can blow up on wide covers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.cover import Cover
+
+
+def _is_implicant(cube: int, on_dc: Cover) -> bool:
+    return on_dc.contains_cube(cube)
+
+
+def _valid_against_off(cube: int, off: Cover) -> bool:
+    fmt = off.fmt
+    for o in off.cubes:
+        if fmt.intersects(cube, o):
+            return False
+    return True
+
+
+def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
+    """Grow *cube* to a prime implicant by raising one position at a time.
+
+    Raising is monotone: once a raise fails it fails for every superset,
+    so a single pass over the candidate positions yields a prime.
+    Positions blocked by fewer off-cubes are tried first so large
+    expansions happen early.
+    """
+    fmt = on_dc.fmt if off is None else off.fmt
+    candidates = [b for b in range(fmt.width) if not (cube >> b) & 1]
+    if off is not None:
+        # order by how many off-cubes conflict with each single raise
+        def blocking(bit: int) -> int:
+            grown = cube | (1 << bit)
+            return sum(1 for o in off.cubes if fmt.intersects(grown, o))
+
+        candidates.sort(key=blocking)
+    for bit in candidates:
+        grown = cube | (1 << bit)
+        if off is not None:
+            ok = _valid_against_off(grown, off)
+        else:
+            ok = _is_implicant(grown, on_dc)
+        if ok:
+            cube = grown
+    return cube
+
+
+def expand(f: Cover, on_dc: Cover, off: Optional[Cover] = None) -> Cover:
+    """Expand every cube of *f* to a prime, dropping newly covered cubes."""
+    fmt = f.fmt
+    # expand small cubes first: they benefit the most and their primes
+    # tend to swallow neighbouring cubes
+    order = sorted(range(len(f.cubes)), key=lambda i: fmt.minterm_count(f.cubes[i]))
+    covered = [False] * len(f.cubes)
+    out = Cover(fmt)
+    for i in order:
+        if covered[i]:
+            continue
+        prime = _expand_cube(f.cubes[i], on_dc, off)
+        out.cubes.append(prime)
+        for j in order:
+            if not covered[j] and f.cubes[j] & ~prime == 0:
+                covered[j] = True
+    return out.single_cube_containment()
+
+
+def irredundant(f: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Greedy irredundant cover: drop cubes covered by the rest of f + dc."""
+    fmt = f.fmt
+    cubes = sorted(f.cubes, key=fmt.minterm_count)  # try dropping small first
+    kept = list(cubes)
+    i = 0
+    while i < len(kept):
+        c = kept[i]
+        rest = Cover(fmt)
+        rest.cubes = kept[:i] + kept[i + 1:]
+        if dc is not None:
+            rest.cubes = rest.cubes + list(dc.cubes)
+        if rest.contains_cube(c):
+            kept.pop(i)
+        else:
+            i += 1
+    out = Cover(fmt)
+    out.cubes = kept
+    return out
+
+
+def reduce_cover(f: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Replace each cube by its maximal reduction (SCCC rule).
+
+    ``c_new = c  ∩  supercube(complement((F - c + D) cofactored by c))``.
+    Cubes are processed in place so later reductions see earlier ones,
+    keeping the cover equivalent to the original function at all times.
+    """
+    fmt = f.fmt
+    # reduce large cubes first, as espresso does
+    cubes = sorted(f.cubes, key=fmt.minterm_count, reverse=True)
+    for i in range(len(cubes)):
+        c = cubes[i]
+        rest = Cover(fmt)
+        rest.cubes = cubes[:i] + cubes[i + 1:]
+        if dc is not None:
+            rest.cubes = rest.cubes + list(dc.cubes)
+        comp = rest.cofactor(c).complement()
+        if not comp.cubes:
+            cubes[i] = 0  # cube entirely covered by the rest: drop
+            continue
+        sccc = 0
+        for k in comp.cubes:
+            sccc |= k
+        cubes[i] = c & sccc
+    out = Cover(fmt)
+    for c in cubes:
+        if c and not fmt.is_empty(c):
+            out.cubes.append(c)
+    return out
+
+
+def espresso(
+    on: Cover,
+    dc: Optional[Cover] = None,
+    off: Optional[Cover] = None,
+    max_iter: int = 10,
+    effort: str = "full",
+) -> Cover:
+    """Heuristically minimize ``on`` against optional ``dc`` / explicit ``off``.
+
+    Returns a prime, (greedily) irredundant cover of the function whose
+    on-set is covered by the result plus ``dc`` and which never
+    intersects ``off``.  ``effort='low'`` runs a single
+    expand+irredundant pass (used for the very largest benchmark
+    machines where the reduce/expand iteration is too slow in pure
+    Python).
+    """
+    fmt = on.fmt
+    if dc is None:
+        dc = Cover(fmt)
+    on_dc = on + dc
+    f = on.single_cube_containment()
+    f = expand(f, on_dc, off)
+    f = irredundant(f, dc)
+    if effort == "low":
+        return f
+    best = f
+    best_cost = f.cost()
+    for _ in range(max_iter):
+        f = reduce_cover(best, dc)
+        f = expand(f, on_dc, off)
+        f = irredundant(f, dc)
+        cost = f.cost()
+        if cost < best_cost:
+            best, best_cost = f, cost
+        else:
+            break
+    return best
+
+
+def minimize(on: Cover, dc: Cover, off: Cover, effort: str = "full") -> Cover:
+    """NOVA-style ``minimize(on, dc, off)`` with an explicit off-set."""
+    return espresso(on, dc=dc, off=off, effort=effort)

@@ -1,0 +1,204 @@
+"""Espresso PLA-format reader/writer (.pla, including .mv multiple-valued).
+
+Supports the subset of the Berkeley format the NOVA flow touches:
+
+* ``.i N`` / ``.o N`` — binary inputs and outputs;
+* ``.mv numvar numbin s1 s2 ...`` — mixed binary / MV variable layout
+  (ESPRESSO-MV style: ``numbin`` binary variables followed by MV
+  variables of the listed sizes; the last variable is the output part);
+* ``.type f|fd|fr|fdr`` — which covers the rows describe (on / dc / off
+  via the output character ``1`` / ``-`` / ``0``);
+* ``.p`` (row count, recomputed), ``.e``/``.end``, comments (``#``).
+
+Binary input fields use ``0``/``1``/``-``; MV fields are written as
+position strings (e.g. ``0110``) separated by ``|`` as espresso does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Format
+
+
+@dataclass
+class PLA:
+    """A parsed PLA: format, covers, and layout metadata."""
+
+    fmt: Format
+    on: Cover
+    dc: Cover
+    off: Cover
+    num_binary: int  # leading 2-part variables
+    kind: str = "fd"  # .type
+    input_labels: List[str] = field(default_factory=list)
+    output_labels: List[str] = field(default_factory=list)
+
+    @property
+    def num_outputs(self) -> int:
+        return self.fmt.parts[-1]
+
+
+def _parse_binary_field(ch: str) -> int:
+    try:
+        return {"0": 1, "1": 2, "-": 3, "2": 3, "~": 0}[ch]
+    except KeyError:
+        raise ValueError(f"bad binary input character {ch!r}")
+
+
+def parse_pla(text: str) -> PLA:
+    """Parse espresso PLA text into covers (on/dc/off per ``.type``)."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    mv_sizes: Optional[List[int]] = None
+    num_binary = 0
+    kind = "fd"
+    input_labels: List[str] = []
+    output_labels: List[str] = []
+    rows: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = int(parts[1])
+            elif directive == ".o":
+                num_outputs = int(parts[1])
+            elif directive == ".mv":
+                sizes = [int(x) for x in parts[1:]]
+                num_vars, num_binary = sizes[0], sizes[1]
+                mv_sizes = sizes[2:]
+                if len(mv_sizes) != num_vars - num_binary:
+                    raise ValueError(".mv sizes do not match variable count")
+            elif directive == ".type":
+                kind = parts[1]
+            elif directive == ".ilb":
+                input_labels = parts[1:]
+            elif directive == ".ob":
+                output_labels = parts[1:]
+            elif directive in (".p", ".e", ".end"):
+                continue
+            else:
+                raise ValueError(f"unknown PLA directive {directive!r}")
+            continue
+        rows.append(line)
+
+    if mv_sizes is not None:
+        parts_list = [2] * num_binary + mv_sizes
+    else:
+        if num_inputs is None or num_outputs is None:
+            raise ValueError("PLA text missing .i/.o (or .mv) directives")
+        num_binary = num_inputs
+        parts_list = [2] * num_inputs + [max(1, num_outputs)]
+    fmt = Format(parts_list)
+
+    pla = PLA(fmt=fmt, on=Cover(fmt), dc=Cover(fmt), off=Cover(fmt),
+              num_binary=num_binary, kind=kind,
+              input_labels=input_labels, output_labels=output_labels)
+    for row in rows:
+        _parse_row(pla, row)
+    return pla
+
+
+def _parse_row(pla: PLA, row: str) -> None:
+    fmt = pla.fmt
+    out_parts = fmt.parts[-1]
+    compact = row.replace(" ", "")
+    if "|" in compact:
+        tokens = compact.split("|")
+        binary_part = tokens[0]
+        mv_tokens = tokens[1:]
+    else:
+        binary_part = compact[:pla.num_binary]
+        rest = compact[pla.num_binary:]
+        mv_tokens = []
+        pos = 0
+        for p in fmt.parts[pla.num_binary:]:
+            mv_tokens.append(rest[pos:pos + p])
+            pos += p
+        if pos != len(rest):
+            raise ValueError(f"row {row!r}: wrong total width")
+    if len(binary_part) != pla.num_binary:
+        raise ValueError(f"row {row!r}: wrong binary field width")
+    fields = [_parse_binary_field(ch) for ch in binary_part]
+    for tok, p in zip(mv_tokens[:-1], fmt.parts[pla.num_binary:-1]):
+        if len(tok) != p or set(tok) - {"0", "1"}:
+            raise ValueError(f"row {row!r}: bad MV token {tok!r}")
+        fields.append(int(tok[::-1], 2))
+    out_tok = mv_tokens[-1]
+    if len(out_tok) != out_parts:
+        raise ValueError(f"row {row!r}: bad output field width")
+    on_field = 0
+    dc_field = 0
+    off_field = 0
+    for j, ch in enumerate(out_tok):
+        if ch in ("1", "4"):
+            on_field |= 1 << j
+        elif ch in ("-", "2", "~"):
+            dc_field |= 1 << j
+        elif ch == "0":
+            off_field |= 1 << j
+        else:
+            raise ValueError(f"row {row!r}: bad output character {ch!r}")
+    # .type f/fd: 0 means "not in the cover" rather than off-set
+    if "r" not in pla.kind:
+        off_field = 0
+    if on_field:
+        pla.on.append(pla.fmt.cube_from_fields(fields + [on_field]))
+    if dc_field and "d" in pla.kind:
+        pla.dc.append(pla.fmt.cube_from_fields(fields + [dc_field]))
+    if off_field:
+        pla.off.append(pla.fmt.cube_from_fields(fields + [off_field]))
+
+
+def _format_row(fmt: Format, num_binary: int, cube: int) -> str:
+    chars = []
+    for v in range(num_binary):
+        chars.append({1: "0", 2: "1", 3: "-", 0: "~"}[fmt.field(cube, v)])
+    tokens = ["".join(chars)]
+    for v in range(num_binary, fmt.num_vars - 1):
+        f = fmt.field(cube, v)
+        tokens.append(format(f, f"0{fmt.parts[v]}b")[::-1])
+    out = fmt.field(cube, fmt.num_vars - 1)
+    tokens.append("".join("1" if (out >> j) & 1 else "0"
+                          for j in range(fmt.parts[-1])))
+    return " ".join(tokens)
+
+
+def write_pla(cover: Cover, num_binary: int,
+              dc: Optional[Cover] = None,
+              input_labels: Optional[List[str]] = None,
+              output_labels: Optional[List[str]] = None) -> str:
+    """Serialize covers to espresso PLA text (``.type fd``)."""
+    fmt = cover.fmt
+    lines = []
+    all_binary = fmt.num_vars - 1 == num_binary
+    if all_binary:
+        lines.append(f".i {num_binary}")
+        lines.append(f".o {fmt.parts[-1]}")
+    else:
+        sizes = " ".join(str(p) for p in fmt.parts[num_binary:])
+        lines.append(f".mv {fmt.num_vars} {num_binary} {sizes}")
+    if input_labels:
+        lines.append(".ilb " + " ".join(input_labels))
+    if output_labels:
+        lines.append(".ob " + " ".join(output_labels))
+    lines.append(f".p {len(cover) + (len(dc) if dc else 0)}")
+    lines.append(".type fd")
+    for cube in cover.cubes:
+        lines.append(_format_row(fmt, num_binary, cube))
+    if dc:
+        for cube in dc.cubes:
+            out = fmt.field(cube, fmt.num_vars - 1)
+            row = _format_row(fmt, num_binary, cube)
+            head, _, _tail = row.rpartition(" ")
+            dc_tok = "".join("-" if (out >> j) & 1 else "0"
+                             for j in range(fmt.parts[-1]))
+            lines.append(f"{head} {dc_tok}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

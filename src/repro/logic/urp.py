@@ -1,0 +1,111 @@
+"""Unate-recursive paradigm: tautology and complement of MV covers.
+
+Both procedures follow the classic ESPRESSO scheme: fast special cases,
+then Shannon expansion on the *most binate* variable, recursing on the
+cofactor against each part of that variable.  Because the parts of a
+variable partition its value set, the per-part recursion is exact for
+multiple-valued variables as well as binary ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.logic.cover import Cover
+
+
+def _select_split_var(cover: Cover) -> Optional[int]:
+    """Pick the variable appearing non-full in the most cubes.
+
+    Returns ``None`` when every cube is full in every variable (which
+    means each cube is the universe — callers handle that earlier).
+    """
+    fmt = cover.fmt
+    best_var = None
+    best_count = 0
+    for v, m in enumerate(fmt.masks):
+        count = 0
+        for c in cover.cubes:
+            if c & m != m:
+                count += 1
+        if count > best_count or (
+            count == best_count and best_var is not None
+            and count and fmt.parts[v] > fmt.parts[best_var]
+        ):
+            best_var = v
+            best_count = count
+    if best_count == 0:
+        return None
+    return best_var
+
+
+def tautology(cover: Cover) -> bool:
+    """True when the cover covers the whole Boolean/MV space."""
+    fmt = cover.fmt
+    cubes = cover.cubes
+    if not cubes:
+        return False
+    universe = fmt.universe
+    # universal-cube check
+    for c in cubes:
+        if c == universe:
+            return True
+    # column check: some value of some variable appearing in no cube
+    # cannot be covered
+    union = 0
+    for c in cubes:
+        union |= c
+    if union != universe:
+        return False
+    var = _select_split_var(cover)
+    if var is None:
+        return False  # non-universe cubes only; unreachable after checks
+    for part in range(fmt.parts[var]):
+        lit = fmt.literal(var, (part,))
+        if not tautology(cover.cofactor(lit)):
+            return False
+    return True
+
+
+def complement(cover: Cover) -> Cover:
+    """Complement of a cover (disjoint by construction, then compacted)."""
+    result = _complement_rec(cover)
+    return result.single_cube_containment()
+
+
+def _complement_single_cube(fmt, cube: int) -> List[int]:
+    """De Morgan complement of one cube: one cube per non-full variable."""
+    out = []
+    for v, m in enumerate(fmt.masks):
+        if cube & m != m:
+            out.append((fmt.universe & ~m) | (m & ~cube))
+    return out
+
+
+def _complement_rec(cover: Cover) -> Cover:
+    fmt = cover.fmt
+    cubes = cover.cubes
+    out = Cover(fmt)
+    if not cubes:
+        out.cubes.append(fmt.universe)
+        return out
+    universe = fmt.universe
+    for c in cubes:
+        if c == universe:
+            return out  # empty complement
+    if len(cubes) == 1:
+        out.cubes = _complement_single_cube(fmt, cubes[0])
+        return out
+    # column check shortcut: uncovered values of a variable complement
+    # directly, which also guarantees progress for the recursion below
+    var = _select_split_var(cover)
+    if var is None:
+        return out  # all cubes universe; handled above
+    for part in range(fmt.parts[var]):
+        lit = fmt.literal(var, (part,))
+        sub = _complement_rec(cover.cofactor(lit))
+        for c in sub.cubes:
+            r = c & lit
+            if not fmt.is_empty(r):
+                out.cubes.append(r)
+    return out

@@ -1,0 +1,5 @@
+"""Symbolic minimization (§6.1): encoding-independent covers + covering DAG."""
+
+from repro.symbolic.symbolic_min import SymbolicMinResult, symbolic_minimize
+
+__all__ = ["SymbolicMinResult", "symbolic_minimize"]

@@ -1,0 +1,189 @@
+"""Symbolic minimization, NOVA's revisited version (§6.1).
+
+The loop processes one next state at a time.  For next state *i*:
+
+* on-set — the rows asserting *i* (with their binary outputs);
+* off-set — the rows of every next state *j* that *i* already covers
+  (a path i→j in the covering DAG G would close a cycle), plus the off
+  conditions of the binary outputs (the paper's first modification:
+  binary outputs carry their complete on/off description at every
+  stage);
+* dc-set — the rows of every other next state (no path from *i*).
+
+After ``minimize(on, dc, off)``, the covering relations of the stage
+are accepted only when the stage actually decreased the on-set
+cardinality of next state *i* (the paper's second modification), in
+which case edges ``(j, i, w_i)`` are added to G for every *j* whose
+on-set the minimized implicants of *i* intersect.
+
+The final cover ``FinalP`` is compacted with single-cube containment
+plus a greedy irredundant pass rather than a full re-minimization: a
+full espresso pass would need covering-aware off-sets for every stage
+simultaneously, and the compaction preserves correctness of the cover
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.constraints.output_constraints import OutputCluster, OutputConstraints
+from repro.fsm.symbolic_cover import SymbolicCover
+from repro.logic.cover import Cover
+from repro.logic.espresso import espresso, irredundant
+
+
+@dataclass
+class SymbolicMinResult:
+    """The (IC, OC) pair defined by one symbolic minimization."""
+
+    input_constraints: ConstraintSet
+    output_constraints: OutputConstraints
+    final_cover_size: int
+    symbol_constraints: Optional[ConstraintSet] = None
+
+
+def _has_path(adj: Dict[int, Set[int]], src: int, dst: int) -> bool:
+    """DFS reachability in the covering DAG (edges u -> v: u covers v)."""
+    stack = [src]
+    seen = set()
+    while stack:
+        u = stack.pop()
+        if u == dst:
+            return True
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(adj.get(u, ()))
+    return False
+
+
+def symbolic_minimize(sc: SymbolicCover, effort: str = "full") -> SymbolicMinResult:
+    """Run the §6.1 loop and extract clustered input/output constraints."""
+    fsm = sc.fsm
+    fmt = sc.fmt
+    n = fsm.num_states
+    next_mask = (1 << n) - 1
+
+    # On_k: rows of the cover asserting next state k (binary outputs kept)
+    on_sets: Dict[int, List[int]] = {i: [] for i in range(n)}
+    output_only: List[int] = []  # rows with unspecified next state
+    for cube in sc.on.cubes:
+        out = fmt.field(cube, sc.output_var)
+        ns = out & next_mask
+        if ns == 0:
+            output_only.append(cube)
+            continue
+        on_sets[ns.bit_length() - 1].append(cube)
+
+    # covers u -> v : code(u) must cover code(v); weights per head state
+    covers_adj: Dict[int, Set[int]] = {}
+    weights: Dict[int, int] = {}
+    final_cubes: List[int] = list(output_only)
+    # stage order: largest on-sets first -- they have the most to gain
+    order = sorted(range(n), key=lambda i: (-len(on_sets[i]), i))
+
+    for i in order:
+        on_i = on_sets[i]
+        if not on_i:
+            continue
+        dc_cubes: List[int] = list(sc.dc.cubes)
+        off_cubes: List[int] = []
+        for j in range(n):
+            if j == i or not on_sets[j]:
+                continue
+            if _has_path(covers_adj, i, j):
+                # i already covers j: expanding i over On_j would need
+                # j to cover i too -- a cycle; these rows are off
+                off_cubes.extend(
+                    fmt.with_field(c, sc.output_var, 1 << i)
+                    for c in on_sets[j]
+                )
+            else:
+                dc_cubes.extend(
+                    fmt.with_field(c, sc.output_var, 1 << i)
+                    for c in on_sets[j]
+                )
+        # complete binary-output description (modification 1): the off
+        # conditions of the proper outputs come from the machine's off-set
+        for c in sc.off.cubes:
+            out = fmt.field(c, sc.output_var)
+            keep = out & ~next_mask
+            if keep:
+                off_cubes.append(fmt.with_field(c, sc.output_var, keep))
+
+        on = Cover(fmt, on_i)
+        dc = Cover(fmt, dc_cubes)
+        off = Cover(fmt, off_cubes) if off_cubes else None
+        mb = espresso(on, dc=dc, off=off, effort=effort)
+        m_i = [c for c in mb.cubes
+               if fmt.field(c, sc.output_var) & (1 << i)]
+        if len(m_i) < len(on_i):
+            # accept the stage (modification 2)
+            weights[i] = len(on_i) - len(m_i)
+            for j in range(n):
+                if j == i or not on_sets[j]:
+                    continue
+                hit = any(
+                    fmt.intersects(mc, jc)
+                    for mc in (fmt.with_field(c, sc.output_var,
+                                              fmt.field(c, sc.output_var)
+                                              | next_mask)
+                               for c in m_i)
+                    for jc in (fmt.with_field(c, sc.output_var,
+                                              fmt.field(c, sc.output_var)
+                                              | next_mask)
+                               for c in on_sets[j])
+                )
+                if hit:
+                    covers_adj.setdefault(j, set()).add(i)
+            final_cubes.extend(mb.cubes)
+        else:
+            final_cubes.extend(on_i)
+
+    final = Cover(fmt, final_cubes).single_cube_containment()
+    final = irredundant(final, Cover(fmt, list(sc.dc.cubes)))
+
+    # --- constraint extraction from FinalP -----------------------------
+    ic = ConstraintSet(n)
+    sym = (
+        ConstraintSet(len(fsm.symbolic_input_values))
+        if fsm.has_symbolic_input else None
+    )
+    companions: Dict[int, List[int]] = {i: [] for i in range(n)}
+    free_ic: List[int] = []
+    for cube in final.cubes:
+        group = sc.state_field(cube)
+        ic.add(group)
+        if sym is not None:
+            sym.add(sc.symbol_field(cube))
+        out = fmt.field(cube, sc.output_var)
+        heads = out & next_mask
+        if heads == 0:
+            if group != (1 << n) - 1 and group & (group - 1):
+                free_ic.append(group)
+            continue
+        for i in range(n):
+            if (heads >> i) & 1 and group & (group - 1):
+                companions[i].append(group)
+
+    clusters = [
+        OutputCluster(
+            next_state=i,
+            edges=sorted((j, i) for j in covers_adj
+                         if i in covers_adj[j]),
+            weight=weights.get(i, 0),
+            companion_ic=companions[i],
+        )
+        for i in range(n)
+        if weights.get(i, 0) or companions[i]
+    ]
+    oc = OutputConstraints(n=n, clusters=clusters, free_ic=free_ic)
+    return SymbolicMinResult(
+        input_constraints=ic,
+        output_constraints=oc,
+        final_cover_size=len(final),
+        symbol_constraints=sym,
+    )

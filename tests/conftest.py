@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the NOVA reproduction test-suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Set, Tuple
+
+import pytest
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Format
+
+
+def enumerate_minterms(fmt: Format):
+    """All minterm cubes of a format (one part chosen per variable)."""
+    choices = [[1 << p for p in range(parts)] for parts in fmt.parts]
+    for combo in itertools.product(*choices):
+        yield fmt.cube_from_fields(list(combo))
+
+
+def cover_minterms(cover: Cover) -> Set[int]:
+    """The set of minterms a cover contains (small formats only)."""
+    fmt = cover.fmt
+    out = set()
+    for m in enumerate_minterms(fmt):
+        for c in cover.cubes:
+            if m & ~c == 0:
+                out.add(m)
+                break
+    return out
+
+
+def random_cover(fmt: Format, n_cubes: int, rng: random.Random) -> Cover:
+    """A random cover: each variable keeps a random non-empty part set."""
+    cover = Cover(fmt)
+    for _ in range(n_cubes):
+        fields = []
+        for parts in fmt.parts:
+            field = rng.randrange(1, 1 << parts)
+            fields.append(field)
+        cover.append(fmt.cube_from_fields(fields))
+    return cover
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+def paper_constraint_masks() -> List[int]:
+    """The running example of §3: six constraints over seven states.
+
+    Constraint strings in the paper put state 1 leftmost; here bit i
+    stands for state i+1.
+    """
+
+    def m(*xs: int) -> int:
+        return sum(1 << (x - 1) for x in xs)
+
+    return [m(1, 2, 3), m(2, 3, 4), m(5, 6, 7), m(1, 5, 6), m(6, 7),
+            m(3, 4)]
+
+
+PAPER_WEIGHTS = [4, 2, 3, 5, 1, 1]

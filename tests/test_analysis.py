@@ -1,0 +1,107 @@
+"""Tests for FSM static analysis."""
+
+from repro.fsm.analysis import (
+    analyze,
+    is_deterministic,
+    nondeterministic_pairs,
+    reachable_states,
+    specification_coverage,
+    to_dot,
+    transition_graph,
+    unreachable_states,
+)
+from repro.fsm.benchmarks import benchmark
+from repro.fsm.machine import FSM, Transition
+
+
+def island_fsm() -> FSM:
+    """Machine with an unreachable state."""
+    rows = [
+        Transition("0", "a", "a", "0"),
+        Transition("1", "a", "b", "0"),
+        Transition("-", "b", "a", "1"),
+        Transition("-", "c", "c", "0"),  # island
+    ]
+    return FSM("island", 1, 1, ["a", "b", "c"], rows, reset="a")
+
+
+class TestReachability:
+    def test_full_reachability_on_benchmarks(self):
+        for name in ("lion", "bbtas", "shiftreg", "modulo12", "ex2",
+                     "dk27", "planet", "mark1", "iofsm", "donfile"):
+            fsm = benchmark(name)
+            assert reachable_states(fsm) == set(fsm.states), name
+            assert unreachable_states(fsm) == []
+
+    def test_island_detected(self):
+        assert unreachable_states(island_fsm()) == ["c"]
+
+    def test_custom_start(self):
+        assert reachable_states(island_fsm(), start="c") == {"c"}
+
+    def test_transition_graph(self):
+        adj = transition_graph(island_fsm())
+        assert adj["a"] == {"a", "b"}
+        assert adj["c"] == {"c"}
+
+
+class TestDeterminism:
+    def test_benchmarks_deterministic(self):
+        for name in ("lion", "bbtas", "ex3", "dk27", "train11"):
+            assert is_deterministic(benchmark(name)), name
+
+    def test_conflict_detected(self):
+        rows = [
+            Transition("0-", "a", "a", "0"),
+            Transition("-0", "a", "b", "0"),  # overlaps 00, different next
+        ]
+        fsm = FSM("nd", 2, 1, ["a", "b"], rows)
+        assert not is_deterministic(fsm)
+        assert len(nondeterministic_pairs(fsm)) == 1
+
+    def test_compatible_overlap_allowed(self):
+        rows = [
+            Transition("0-", "a", "b", "-"),
+            Transition("-0", "a", "b", "1"),  # overlap agrees
+        ]
+        fsm = FSM("ok", 2, 1, ["a", "b"], rows)
+        assert is_deterministic(fsm)
+
+
+class TestCoverage:
+    def test_fully_specified(self):
+        assert specification_coverage(benchmark("shiftreg")) == 1.0
+
+    def test_partial(self):
+        rows = [Transition("0", "a", "a", "0")]
+        fsm = FSM("p", 1, 1, ["a"], rows)
+        assert specification_coverage(fsm) == 0.5
+
+    def test_symbolic_machines(self):
+        assert specification_coverage(benchmark("dk27")) == 1.0
+
+
+class TestAnalyze:
+    def test_stats_shape(self):
+        stats = analyze(benchmark("lion9"))
+        assert stats.states == 9
+        assert stats.reachable == 9
+        assert stats.deterministic
+        assert stats.max_fan_out >= 2
+        assert 0 < stats.coverage <= 1.0
+
+    def test_self_loops_counted(self):
+        stats = analyze(benchmark("modulo12"))
+        assert stats.self_loops == 12  # hold rows on input 0
+
+
+class TestDot:
+    def test_dot_output(self):
+        text = to_dot(benchmark("lion"))
+        assert text.startswith("digraph")
+        assert '"st0" -> "st1"' in text
+        assert "doublecircle" in text
+
+    def test_symbolic_labels(self):
+        text = to_dot(benchmark("dk27"))
+        assert "v0" in text or "v1" in text

@@ -1,0 +1,139 @@
+"""Tests for the benchmark suite and the synthetic generator."""
+
+import pytest
+
+from repro.fsm.benchmarks import (
+    PAPER30,
+    SMALL,
+    TABLE5,
+    TABLE7,
+    _SPECS,
+    benchmark,
+    benchmark_names,
+    benchmark_table,
+    is_low_effort,
+)
+from repro.fsm.generator import _split_input_space, generate_fsm
+from repro.fsm.symbolic_cover import build_symbolic_cover
+
+import random
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_fsm("x", 3, 2, 5, 20)
+        b = generate_fsm("x", 3, 2, 5, 20)
+        assert [t for t in a.transitions] == [t for t in b.transitions]
+
+    def test_interface_statistics(self):
+        fsm = generate_fsm("y", 4, 3, 9, 36)
+        assert fsm.num_inputs == 4
+        assert fsm.num_outputs == 3
+        assert fsm.num_states == 9
+        assert abs(len(fsm.transitions) - 36) <= 9
+
+    def test_symbolic_machines_fully_specified(self):
+        fsm = generate_fsm("z", 0, 2, 5, 0, symbolic_values=3)
+        assert len(fsm.transitions) == 15
+        assert fsm.has_symbolic_input
+
+    def test_input_space_partition(self):
+        rng = random.Random(0)
+        pats = _split_input_space(4, 6, rng)
+        # disjoint and covering: total minterms = 16
+        total = sum(2 ** p.count("-") for p in pats)
+        assert total == 16
+        for i, a in enumerate(pats):
+            for b in pats[i + 1:]:
+                clash = all(x == "-" or y == "-" or x == y
+                            for x, y in zip(a, b))
+                assert not clash
+
+    def test_zero_inputs(self):
+        rng = random.Random(0)
+        assert _split_input_space(0, 3, rng) == [""]
+
+    def test_rows_are_disjoint(self):
+        """The explicit-off construction relies on disjoint rows."""
+        for name in ("ex3", "bbara", "iofsm", "dk27"):
+            fsm = benchmark(name)
+            by_state = {}
+            for t in fsm.transitions:
+                by_state.setdefault((t.present, t.symbol), []).append(t.inputs)
+            for pats in by_state.values():
+                for i, a in enumerate(pats):
+                    for b in pats[i + 1:]:
+                        clash = all(x == "-" or y == "-" or x == y
+                                    for x, y in zip(a, b))
+                        assert not clash, name
+
+
+class TestBenchmarks:
+    def test_all_machines_build(self):
+        for name in benchmark_names("all"):
+            fsm = benchmark(name)
+            assert fsm.num_states >= 2
+
+    def test_cached(self):
+        assert benchmark("lion") is benchmark("lion")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            benchmark("nope")
+
+    def test_subsets_well_formed(self):
+        assert len(PAPER30) == 30
+        assert len(TABLE5) == 19
+        assert len(TABLE7) == 24
+        assert set(SMALL) <= set(benchmark_names("all"))
+        with pytest.raises(ValueError):
+            benchmark_names("bogus")
+
+    def test_specs_match_built_machines(self):
+        for name, (ni, sym, no, ns, _np) in _SPECS.items():
+            fsm = benchmark(name)
+            assert fsm.num_inputs == ni, name
+            assert len(fsm.symbolic_input_values) == sym, name
+            assert fsm.num_outputs == no, name
+            assert fsm.num_states == ns, name
+
+    def test_paper30_ordered_by_states(self):
+        states = [benchmark(n).num_states for n in PAPER30]
+        assert states == sorted(states)
+
+    def test_structured_machines_exact(self):
+        sr = benchmark("shiftreg")
+        assert sr.num_states == 8 and len(sr.transitions) == 16
+        # shift semantics: from state 3 (011) on input 1 -> state 7 (111)
+        nxt, out = sr.next_state_of("s3", "1")
+        assert nxt == "s7" and out == "0"
+        m12 = benchmark("modulo12")
+        assert m12.num_states == 12 and len(m12.transitions) == 24
+        nxt, out = m12.next_state_of("s11", "1")
+        assert nxt == "s0" and out == "1"
+
+    def test_sensor_counters_behave(self):
+        lion = benchmark("lion")
+        assert lion.next_state_of("st0", "01")[0] == "st1"
+        assert lion.next_state_of("st1", "10")[0] == "st0"
+        assert lion.next_state_of("st0", "00") == ("st0", "0")
+
+    def test_on_off_disjoint(self):
+        """The explicit off-set must never clash with the on-set."""
+        from repro.logic.verify import covers_equivalent
+
+        for name in ("lion", "bbtas", "dk27", "shiftreg", "ex3", "beecount"):
+            sc = build_symbolic_cover(benchmark(name))
+            for on_cube in sc.on.cubes:
+                for off_cube in sc.off.cubes:
+                    assert not sc.fmt.intersects(on_cube, off_cube), name
+
+    def test_benchmark_table(self):
+        rows = benchmark_table("small")
+        assert len(rows) == len(SMALL)
+        assert all({"name", "inputs", "outputs", "states", "products"}
+                   <= set(r) for r in rows)
+
+    def test_low_effort_flags(self):
+        assert is_low_effort("scf")
+        assert not is_low_effort("lion")

@@ -1,0 +1,85 @@
+"""Smoke tests for the nova CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEncode:
+    def test_encode_benchmark(self, capsys):
+        assert main(["encode", "--benchmark", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert "code length" in out
+        assert "st0" in out
+
+    def test_encode_symbolic_benchmark(self, capsys):
+        assert main(["encode", "--benchmark", "dk27",
+                     "--algorithm", "igreedy"]) == 0
+        out = capsys.readouterr().out
+        assert "input symbol codes" in out
+
+    def test_encode_kiss_file(self, tmp_path, capsys):
+        kiss = tmp_path / "m.kiss"
+        kiss.write_text(".i 1\n.o 1\n0 a a 0\n1 a b 1\n0 b a 1\n1 b b 0\n")
+        assert main(["encode", str(kiss)]) == 0
+        assert "cubes" in capsys.readouterr().out
+
+    def test_encode_without_source_fails(self, capsys):
+        assert main(["encode"]) == 2
+
+    def test_bits_option(self, capsys):
+        assert main(["encode", "--benchmark", "lion9", "--bits", "5"]) == 0
+
+
+class TestTable:
+    def test_table1(self, capsys):
+        assert main(["table", "1", "--subset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "lion" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9"]) == 2
+
+
+class TestList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "shiftreg" in out and "scf" in out
+
+
+class TestMinimize:
+    def test_heuristic(self, tmp_path, capsys):
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n00 1\n01 1\n11 1\n.e\n")
+        assert main(["minimize", str(pla)]) == 0
+        out = capsys.readouterr().out
+        assert ".e" in out
+        assert out.count("\n") < 10
+
+    def test_exact(self, tmp_path, capsys):
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n00 1\n01 1\n11 1\n.e\n")
+        assert main(["minimize", "--exact", str(pla)]) == 0
+
+
+class TestAnalyze:
+    def test_benchmark(self, capsys):
+        assert main(["analyze", "--benchmark", "lion9"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable     : 9/9" in out
+        assert "deterministic : True" in out
+
+    def test_dot_export(self, tmp_path, capsys):
+        dot = tmp_path / "g.dot"
+        assert main(["analyze", "--benchmark", "lion", "--dot",
+                     str(dot)]) == 0
+        assert dot.read_text().startswith("digraph")
+
+
+class TestVerify:
+    def test_verify_benchmark(self, capsys):
+        assert main(["verify", "--benchmark", "lion",
+                     "--algorithm", "igreedy"]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for Cover: container behaviour and cover algebra."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover, from_strings
+from repro.logic.cube import Format
+from tests.conftest import cover_minterms, random_cover
+
+
+class TestContainer:
+    def test_append_drops_empty(self):
+        fmt = Format([2, 2])
+        c = Cover(fmt)
+        c.append(0)
+        assert len(c) == 0
+        c.append(fmt.universe)
+        assert len(c) == 1
+
+    def test_init_from_iterable(self):
+        fmt = Format([2, 2])
+        c = Cover(fmt, [fmt.universe, 0, fmt.universe])
+        assert len(c) == 2
+
+    def test_concat_checks_format(self):
+        a = Cover(Format([2, 2]))
+        b = Cover(Format([2, 3]))
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_concat_and_copy_independent(self):
+        fmt = Format([2, 2])
+        a = Cover(fmt, [fmt.universe])
+        b = a.copy()
+        b.append(fmt.cube_from_fields([1, 1]))
+        assert len(a) == 1 and len(b) == 2
+
+    def test_iteration_and_indexing(self):
+        fmt = Format([2, 2])
+        cube = fmt.cube_from_fields([1, 2])
+        c = Cover(fmt, [cube])
+        assert list(c) == [cube]
+        assert c[0] == cube
+
+
+class TestAlgebra:
+    def setup_method(self):
+        self.fmt = Format([2, 2, 2])
+
+    def test_cofactor_drops_disjoint(self):
+        fmt = self.fmt
+        f = from_strings(fmt, ["0 0 -", "1 1 -"])
+        cof = f.cofactor(fmt.cube_from_str("0 - -"))
+        assert len(cof) == 1
+
+    def test_intersect_cube(self):
+        fmt = self.fmt
+        f = from_strings(fmt, ["- - -", "1 1 -"])
+        g = f.intersect_cube(fmt.cube_from_str("0 - -"))
+        assert len(g) == 1  # the 1 1 - cube dies
+
+    def test_single_cube_containment(self):
+        fmt = self.fmt
+        f = from_strings(fmt, ["- - -", "1 1 -", "0 - 1"])
+        assert len(f.single_cube_containment()) == 1
+
+    def test_contains_cube_via_tautology(self):
+        fmt = self.fmt
+        f = from_strings(fmt, ["0 - -", "1 0 -"])
+        assert f.contains_cube(fmt.cube_from_str("- 0 -"))
+        assert not f.contains_cube(fmt.cube_from_str("1 1 -"))
+
+    def test_covers(self):
+        fmt = self.fmt
+        f = from_strings(fmt, ["0 - -", "1 - -"])
+        g = from_strings(fmt, ["- - 0", "- - 1"])
+        assert f.covers(g) and g.covers(f)
+
+    def test_literal_cost(self):
+        fmt = Format([2, 2])
+        f = from_strings(fmt, ["0 -", "- 1"])
+        assert f.literal_cost() == 2
+        assert from_strings(fmt, ["- -"]).literal_cost() == 0
+
+    def test_cost_ordering(self):
+        fmt = Format([2, 2])
+        small = from_strings(fmt, ["- -"])
+        big = from_strings(fmt, ["0 -", "1 -"])
+        assert small.cost() < big.cost()
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50)
+def test_scc_preserves_function(seed):
+    rng = random.Random(seed)
+    fmt = Format([2, 2, 3])
+    f = random_cover(fmt, rng.randrange(1, 6), rng)
+    g = f.single_cube_containment()
+    assert cover_minterms(f) == cover_minterms(g)
+    # no cube of g is contained in another
+    for i, a in enumerate(g.cubes):
+        for j, b in enumerate(g.cubes):
+            if i != j:
+                assert not (a & ~b == 0)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50)
+def test_cofactor_semantics(seed):
+    """m in cofactor(F, p) iff (m restricted into p) in F, for m in p."""
+    rng = random.Random(seed)
+    fmt = Format([2, 2, 2])
+    f = random_cover(fmt, rng.randrange(1, 5), rng)
+    p = random_cover(fmt, 1, rng).cubes[0]
+    cof = f.cofactor(p)
+    f_minterms = cover_minterms(f)
+    cof_minterms = cover_minterms(cof)
+    from tests.conftest import enumerate_minterms
+
+    for m in enumerate_minterms(fmt):
+        if m & ~p == 0:  # minterm inside p
+            assert (m in f_minterms) == (m in cof_minterms)

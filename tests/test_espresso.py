@@ -1,0 +1,186 @@
+"""Tests for the espresso-style minimizer: every phase and the full loop."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover, from_strings
+from repro.logic.cube import Format
+from repro.logic.espresso import (
+    espresso,
+    expand,
+    irredundant,
+    minimize,
+    reduce_cover,
+)
+from repro.logic.verify import covers_equivalent, verify_minimization
+from tests.conftest import cover_minterms, random_cover
+
+
+class TestExpand:
+    def test_expand_to_prime(self):
+        # f = a'b' + a'b  -> a'
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1", "0 1 1"])
+        e = expand(on, on)
+        assert len(e) == 1
+        assert fmt.field(e.cubes[0], 0) == 1
+        assert fmt.field(e.cubes[0], 1) == 3
+
+    def test_expand_respects_offset(self):
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1"])
+        off = from_strings(fmt, ["1 - 1", "- 1 1"])
+        e = expand(on, on, off)
+        assert len(e) == 1
+        assert e.cubes[0] == on.cubes[0]  # fully blocked
+
+    def test_expand_swallows_covered_cubes(self):
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1", "0 1 1", "1 0 1"])
+        e = expand(on, on)
+        assert len(e) == 2
+
+
+class TestIrredundant:
+    def test_removes_redundant_middle(self):
+        # a'b + ab' + (a'b' covered by nothing) keep; classic: x'y + xy' + xy
+        fmt = Format([2, 2, 1])
+        f = from_strings(fmt, ["0 - 1", "1 - 1", "- 1 1"])
+        g = irredundant(f)
+        assert len(g) == 2
+        assert covers_equivalent(f, g)
+
+    def test_respects_dc(self):
+        fmt = Format([2, 2, 1])
+        f = from_strings(fmt, ["0 - 1"])
+        dc = from_strings(fmt, ["0 0 1", "0 1 1"])
+        g = irredundant(f, dc)
+        assert len(g) == 0  # entirely inside the dc set
+
+
+class TestReduce:
+    def test_reduce_shrinks_overlap(self):
+        fmt = Format([2, 2, 1])
+        f = from_strings(fmt, ["0 - 1", "- 1 1"])
+        r = reduce_cover(f)
+        assert covers_equivalent(Cover(fmt, f.cubes), r)
+
+    def test_reduce_drops_fully_covered(self):
+        fmt = Format([2, 2, 1])
+        f = from_strings(fmt, ["- - 1", "0 0 1"])
+        r = reduce_cover(f)
+        assert cover_minterms(r) == cover_minterms(f)
+
+
+class TestEspresso:
+    def test_classic_example(self):
+        # f = a'b' + a'b + ab == a' + b
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1", "0 1 1", "1 1 1"])
+        m = espresso(on)
+        assert len(m) == 2
+        assert verify_minimization(m, on)
+
+    def test_with_dc(self):
+        # f on = a'b', dc = a'b  -> single cube a'
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1"])
+        dc = from_strings(fmt, ["0 1 1"])
+        m = espresso(on, dc)
+        assert len(m) == 1
+        assert verify_minimization(m, on, dc)
+
+    def test_multioutput_sharing(self):
+        # two outputs share the product a'b'
+        fmt = Format([2, 2, 2])
+        on = from_strings(fmt, ["0 0 01", "0 0 10"])
+        m = espresso(on)
+        assert len(m) == 1
+        assert fmt.field(m.cubes[0], 2) == 3
+
+    def test_explicit_off_allows_expansion_into_unspecified(self):
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1"])
+        off = from_strings(fmt, ["1 1 1"])
+        m = minimize(on, Cover(fmt), off)
+        assert len(m) == 1
+        # the cube may grow into the unspecified quadrant
+        assert fmt.minterm_count(m.cubes[0]) > 1
+        assert verify_minimization(m, on, off=off)
+
+    def test_low_effort_still_correct(self):
+        fmt = Format([2, 2, 2, 1])
+        on = from_strings(fmt, ["0 0 0 1", "0 0 1 1", "0 1 1 1", "1 1 1 1"])
+        m = espresso(on, effort="low")
+        assert verify_minimization(m, on)
+
+    def test_mv_variable(self):
+        # MV var with 4 values: f asserts output for values {0,1} of v
+        fmt = Format([4, 1])
+        on = Cover(fmt, [fmt.cube_from_fields([0b0001, 1]),
+                         fmt.cube_from_fields([0b0010, 1])])
+        m = espresso(on)
+        assert len(m) == 1
+        assert fmt.field(m.cubes[0], 0) == 0b0011
+
+    def test_empty_on_set(self):
+        fmt = Format([2, 1])
+        m = espresso(Cover(fmt))
+        assert len(m) == 0
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_espresso_equivalence_random(seed):
+    """Minimized cover stays equivalent to the original function."""
+    rng = random.Random(seed)
+    fmt = Format(rng.choice([[2, 2, 1], [2, 2, 2], [3, 2, 2], [2, 2, 2, 1]]))
+    on = random_cover(fmt, rng.randrange(1, 7), rng)
+    dc = random_cover(fmt, rng.randrange(0, 3), rng)
+    m = espresso(on, dc)
+    assert verify_minimization(m, on, dc)
+    assert len(m) <= len(on) + len(dc)
+    # exact minterm check: on ⊆ m ∪ dc and m ⊆ on ∪ dc
+    on_m = cover_minterms(on)
+    dc_m = cover_minterms(dc)
+    got = cover_minterms(m)
+    assert on_m <= got | dc_m
+    assert got <= on_m | dc_m
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_espresso_never_intersects_explicit_off(seed):
+    rng = random.Random(seed)
+    fmt = Format([2, 2, 2])
+    on = random_cover(fmt, rng.randrange(1, 5), rng)
+    off_full = Cover(fmt)
+    # off = complement of on (so on/off partition, no dc)
+    from repro.logic.urp import complement
+
+    off_full.cubes = complement(on).cubes
+    m = minimize(on, Cover(fmt), off_full)
+    assert verify_minimization(m, on, off=off_full)
+    assert cover_minterms(m) == cover_minterms(on)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_espresso_result_is_prime_and_irredundant(seed):
+    rng = random.Random(seed)
+    fmt = Format([2, 2, 1])
+    on = random_cover(fmt, rng.randrange(1, 6), rng)
+    m = espresso(on)
+    on_dc = on
+    # primality: raising any position breaks implicant-ness
+    for c in m.cubes:
+        for b in range(fmt.width):
+            if not (c >> b) & 1:
+                grown = c | (1 << b)
+                assert not on_dc.contains_cube(grown)
+    # irredundancy (greedy): no cube covered by the others
+    for i, c in enumerate(m.cubes):
+        rest = Cover(fmt, [x for j, x in enumerate(m.cubes) if j != i])
+        assert not rest.contains_cube(c)

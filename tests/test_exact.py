@@ -1,0 +1,115 @@
+"""Tests for the exact minimizer, and espresso-vs-exact quality checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover, from_strings
+from repro.logic.cube import Format
+from repro.logic.espresso import espresso
+from repro.logic.exact import TooLarge, all_primes, exact_minimize
+from repro.logic.verify import covers_equivalent, verify_minimization
+from tests.conftest import cover_minterms, enumerate_minterms, random_cover
+
+
+def brute_force_primes(on: Cover) -> set:
+    """All maximal implicant cubes of a (small) cover, by enumeration."""
+    fmt = on.fmt
+    minterms = cover_minterms(on)
+    # enumerate every cube (every choice of non-empty field per variable)
+    import itertools
+
+    choices = [range(1, 1 << p) for p in fmt.parts]
+    implicants = []
+    for combo in itertools.product(*choices):
+        cube = fmt.cube_from_fields(list(combo))
+        if all(m in minterms for m in enumerate_minterms(fmt)
+               if m & ~cube == 0):
+            implicants.append(cube)
+    return {c for c in implicants
+            if not any(c != d and c & ~d == 0 for d in implicants)}
+
+
+class TestAllPrimes:
+    def test_classic(self):
+        # f = a' + b over (a, b): primes are a' and b
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1", "0 1 1", "1 1 1"])
+        primes = all_primes(on)
+        assert set(primes.cubes) == {fmt.cube_from_str("0 - 1"),
+                                     fmt.cube_from_str("- 1 1")}
+
+    def test_with_dc(self):
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1"])
+        dc = from_strings(fmt, ["0 1 1"])
+        primes = all_primes(on, dc)
+        assert fmt.cube_from_str("0 - 1") in primes.cubes
+
+    def test_size_guard(self):
+        fmt = Format([2] * 12 + [1])
+        rng = random.Random(0)
+        on = random_cover(fmt, 40, rng)
+        with pytest.raises(TooLarge):
+            all_primes(on, max_cubes=10)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_primes_match_bruteforce(seed):
+    rng = random.Random(seed)
+    fmt = Format(rng.choice([[2, 2, 1], [2, 2, 2], [3, 2, 1]]))
+    on = random_cover(fmt, rng.randrange(1, 5), rng)
+    got = set(all_primes(on).cubes)
+    want = brute_force_primes(on)
+    assert got == want
+
+
+class TestExactMinimize:
+    def test_classic(self):
+        fmt = Format([2, 2, 1])
+        on = from_strings(fmt, ["0 0 1", "0 1 1", "1 1 1"])
+        m = exact_minimize(on)
+        assert len(m) == 2
+        assert verify_minimization(m, on)
+
+    def test_empty(self):
+        fmt = Format([2, 1])
+        assert len(exact_minimize(Cover(fmt))) == 0
+
+    def test_cyclic_core(self):
+        """The classic cyclic function needs branch and bound."""
+        fmt = Format([2, 2, 2, 1])
+        # f with a cyclic prime structure: xor-ish corners
+        on = from_strings(fmt, [
+            "0 0 0 1", "0 0 1 1", "0 1 1 1", "1 1 1 1", "1 1 0 1",
+            "1 0 0 1",
+        ])
+        m = exact_minimize(on)
+        assert verify_minimization(m, on)
+        assert len(m) == 3
+
+    def test_minterm_guard(self):
+        fmt = Format([2] * 14 + [1])
+        on = Cover(fmt, [fmt.universe])
+        with pytest.raises(TooLarge):
+            exact_minimize(on, max_minterms=100)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None)
+def test_espresso_close_to_exact(seed):
+    """Heuristic result is correct and within 1 cube of the optimum on
+    small random functions (espresso's published behaviour)."""
+    rng = random.Random(seed)
+    fmt = Format(rng.choice([[2, 2, 1], [2, 2, 2], [2, 2, 2, 1]]))
+    on = random_cover(fmt, rng.randrange(1, 6), rng)
+    dc = random_cover(fmt, rng.randrange(0, 2), rng)
+    exact = exact_minimize(on, dc)
+    heur = espresso(on, dc)
+    assert verify_minimization(heur, on, dc)
+    assert len(exact) <= len(heur) <= len(exact) + 1
+    # the exact cover is itself a correct cover
+    assert verify_minimization(exact, on, dc)

@@ -1,0 +1,74 @@
+"""Additional generator properties: repair pass, clusters, Moore outputs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.analysis import is_deterministic, unreachable_states
+from repro.fsm.generator import _repair_reachability, generate_fsm
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_generated_machines_always_reachable_and_deterministic(seed):
+    rng = random.Random(seed)
+    n_states = rng.randrange(3, 15)
+    fsm = generate_fsm(
+        f"g{seed}",
+        num_inputs=rng.randrange(1, 5),
+        num_outputs=rng.randrange(1, 5),
+        num_states=n_states,
+        num_products=n_states * rng.randrange(1, 5),
+        seed=seed,
+    )
+    assert unreachable_states(fsm) == []
+    assert is_deterministic(fsm)
+    assert fsm.is_completely_specified()
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None)
+def test_generated_symbolic_machines(seed):
+    rng = random.Random(seed)
+    n_states = rng.randrange(3, 10)
+    vals = rng.randrange(2, 6)
+    fsm = generate_fsm(f"s{seed}", 0, rng.randrange(1, 4), n_states,
+                       0, symbolic_values=vals, seed=seed)
+    assert len(fsm.transitions) == n_states * vals
+    assert unreachable_states(fsm) == []
+
+
+def test_repair_pass_direct():
+    """An island machine gets reconnected by redirecting one row."""
+    rng = random.Random(0)
+    # states 0,1 loop among themselves; 2,3 unreachable
+    nxt = [[0, 1], [1, 0], [3, 2], [2, 3]]
+    cluster_of = [0, 0, 1, 1]
+    _repair_reachability(nxt, cluster_of, {}, rng)
+    # recompute reachability
+    seen = {0}
+    stack = [0]
+    while stack:
+        s = stack.pop()
+        for n in nxt[s]:
+            if n not in seen:
+                seen.add(n)
+                stack.append(n)
+    assert seen == {0, 1, 2, 3}
+
+
+def test_moore_outputs_uniform_per_next_state():
+    """Rows converging on one next state mostly share outputs (DC aside),
+    which is what lets the MV minimizer group present states."""
+    fsm = generate_fsm("moore", 3, 3, 8, 32, seed=99)
+    by_next = {}
+    for t in fsm.transitions:
+        by_next.setdefault(t.next, []).append(t.outputs)
+    uniform = 0
+    for outs in by_next.values():
+        base = outs[0]
+        if all(all(x == y or "-" in (x, y) for x, y in zip(o, base))
+               for o in outs):
+            uniform += 1
+    assert uniform >= len(by_next) - 1  # at most one DC-induced outlier

@@ -1,0 +1,73 @@
+"""Tests for igreedy_code."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.encoding.base import constraint_satisfied, satisfied_weight
+from repro.encoding.igreedy import igreedy_code
+from repro.fsm.machine import minimum_code_length
+from tests.conftest import PAPER_WEIGHTS, paper_constraint_masks
+
+
+def cs_from(masks, n, weights=None):
+    cs = ConstraintSet(n)
+    for i, m in enumerate(masks):
+        cs.add(m, weights[i] if weights else 1)
+    return cs
+
+
+class TestIgreedy:
+    def test_complete_injective_encoding(self):
+        cs = cs_from(paper_constraint_masks(), 7, PAPER_WEIGHTS)
+        enc = igreedy_code(cs)
+        assert enc.nbits == 3
+        assert len(set(enc.codes)) == 7
+
+    def test_deterministic(self):
+        cs = cs_from(paper_constraint_masks(), 7, PAPER_WEIGHTS)
+        assert igreedy_code(cs).codes == igreedy_code(cs).codes
+
+    def test_satisfies_easy_instances(self):
+        cs = cs_from([0b0011, 0b1100], 4)
+        enc = igreedy_code(cs)
+        assert constraint_satisfied(enc, 0b0011)
+        assert constraint_satisfied(enc, 0b1100)
+
+    def test_common_subconstraints_priority(self):
+        """{2,3} = {1,2,3} ∩ {2,3,4} must be satisfied (deepest first)."""
+        masks = [0b0111, 0b1110]
+        cs = cs_from(masks, 4)
+        enc = igreedy_code(cs)
+        assert constraint_satisfied(enc, 0b0110)
+
+    def test_no_constraints(self):
+        cs = ConstraintSet(6)
+        enc = igreedy_code(cs)
+        assert enc.nbits == minimum_code_length(6)
+        assert len(set(enc.codes)) == 6
+
+    def test_user_code_length_respected(self):
+        cs = cs_from(paper_constraint_masks(), 7, PAPER_WEIGHTS)
+        enc = igreedy_code(cs, nbits=4)
+        assert enc.nbits == 4
+
+    def test_nbits_below_minimum_clamped(self):
+        cs = ConstraintSet(7)
+        enc = igreedy_code(cs, nbits=1)
+        assert enc.nbits == minimum_code_length(7)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_igreedy_always_produces_valid_encoding(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(3, 10)
+    cs = ConstraintSet(n)
+    for _ in range(rng.randrange(0, 6)):
+        cs.add(rng.randrange(1, 1 << n), rng.randrange(1, 5))
+    enc = igreedy_code(cs)
+    assert len(set(enc.codes)) == n
+    assert all(0 <= c < (1 << enc.nbits) for c in enc.codes)

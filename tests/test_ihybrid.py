@@ -1,0 +1,84 @@
+"""Tests for ihybrid_code: greedy selection, stats, projection behaviour."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.encoding.base import constraint_satisfied, satisfied_weight
+from repro.encoding.ihybrid import HybridStats, ihybrid_code
+from repro.fsm.machine import minimum_code_length
+from tests.conftest import PAPER_WEIGHTS, paper_constraint_masks
+
+
+def paper_cs() -> ConstraintSet:
+    cs = ConstraintSet(7)
+    for m, w in zip(paper_constraint_masks(), PAPER_WEIGHTS):
+        cs.add(m, w)
+    return cs
+
+
+class TestIhybrid:
+    def test_minimum_bits_by_default(self):
+        enc = ihybrid_code(paper_cs())
+        assert enc.nbits == 3
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(ValueError):
+            ihybrid_code(paper_cs(), nbits=2)
+
+    def test_example_4_1_satisfies_all_at_4_bits(self):
+        """The paper's Example 4.1 run ends with all six satisfied."""
+        cs = paper_cs()
+        enc = ihybrid_code(cs, nbits=4)
+        for m in cs.masks():
+            assert constraint_satisfied(enc, m)
+
+    def test_greedy_prefers_heavy_constraints(self):
+        cs = paper_cs()
+        stats = HybridStats()
+        ihybrid_code(cs, stats=stats)
+        # the heaviest constraint {1,5,6} (weight 5) must be satisfied
+        heaviest = max(cs.weights, key=cs.weights.get)
+        assert heaviest in stats.satisfied
+
+    def test_stats_partition_constraints(self):
+        cs = paper_cs()
+        stats = HybridStats()
+        ihybrid_code(cs, stats=stats)
+        assert set(stats.satisfied) | set(stats.rejected) == set(cs.masks())
+        assert not set(stats.satisfied) & set(stats.rejected)
+        assert stats.satisfied_weight + stats.unsatisfied_weight \
+            == cs.total_weight()
+
+    def test_large_space_satisfies_everything(self):
+        cs = paper_cs()
+        stats = HybridStats()
+        enc = ihybrid_code(cs, nbits=7, stats=stats)
+        assert not stats.rejected
+        for m in cs.masks():
+            assert constraint_satisfied(enc, m)
+
+    def test_empty_constraints(self):
+        cs = ConstraintSet(5)
+        enc = ihybrid_code(cs)
+        assert enc.nbits == minimum_code_length(5)
+        assert len(set(enc.codes)) == 5
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None)
+def test_ihybrid_always_valid_and_monotone_in_bits(seed):
+    """More encoding space never hurts the satisfied weight."""
+    rng = random.Random(seed)
+    n = rng.randrange(4, 9)
+    cs = ConstraintSet(n)
+    for _ in range(rng.randrange(1, 6)):
+        cs.add(rng.randrange(1, 1 << n), rng.randrange(1, 6))
+    low = ihybrid_code(cs)
+    high = ihybrid_code(cs, nbits=min(n, low.nbits + 2))
+    assert len(set(low.codes)) == n
+    assert len(set(high.codes)) == n
+    assert satisfied_weight(high, cs) >= satisfied_weight(low, cs)

@@ -1,0 +1,96 @@
+"""Tests for input-constraint extraction and the ConstraintSet type."""
+
+from repro.constraints.input_constraints import (
+    ConstraintSet,
+    extract_input_constraints,
+)
+from repro.fsm.benchmarks import benchmark
+from repro.fsm.symbolic_cover import build_symbolic_cover
+
+
+class TestConstraintSet:
+    def test_add_accumulates_weight(self):
+        cs = ConstraintSet(4)
+        cs.add(0b0011)
+        cs.add(0b0011, 2)
+        assert cs.weights[0b0011] == 3
+
+    def test_singletons_dropped(self):
+        cs = ConstraintSet(4)
+        cs.add(0b0001)
+        assert len(cs) == 0
+
+    def test_universe_dropped(self):
+        cs = ConstraintSet(4)
+        cs.add(0b1111)
+        assert len(cs) == 0
+
+    def test_by_weight_order_deterministic(self):
+        cs = ConstraintSet(4)
+        cs.add(0b0011, 1)
+        cs.add(0b1100, 5)
+        cs.add(0b0110, 5)
+        order = [m for m, _ in cs.by_weight()]
+        assert order[0] == 0b0110  # same weight: smaller mask first
+        assert order[1] == 0b1100
+        assert order[2] == 0b0011
+
+    def test_members(self):
+        cs = ConstraintSet(5)
+        assert list(cs.members(0b10101)) == [0, 2, 4]
+
+    def test_total_weight_and_contains(self):
+        cs = ConstraintSet(4)
+        cs.add(0b0011, 2)
+        cs.add(0b1100, 3)
+        assert cs.total_weight() == 5
+        assert 0b0011 in cs
+        assert 0b0110 not in cs
+
+
+class TestExtraction:
+    def test_lion_constraints(self):
+        """Lion's counter structure produces pair constraints."""
+        sc = build_symbolic_cover(benchmark("lion"))
+        res = extract_input_constraints(sc)
+        cs = res.state_constraints
+        assert len(cs) >= 2
+        for m in cs.masks():
+            assert bin(m).count("1") >= 2
+        assert res.minimized_cover_size <= len(sc.on)
+
+    def test_symbolic_input_constraints_extracted(self):
+        sc = build_symbolic_cover(benchmark("dk14"))
+        res = extract_input_constraints(sc)
+        assert res.symbol_constraints is not None
+        assert res.symbol_constraints.n == 8
+
+    def test_no_symbol_constraints_for_binary_machines(self):
+        sc = build_symbolic_cover(benchmark("lion"))
+        assert extract_input_constraints(sc).symbol_constraints is None
+
+    def test_weights_count_cover_multiplicity(self):
+        """Every constraint's weight equals its cube multiplicity, so the
+        total weight never exceeds the minimized cover size."""
+        for name in ("bbtas", "ex3", "beecount"):
+            sc = build_symbolic_cover(benchmark(name))
+            res = extract_input_constraints(sc)
+            assert res.state_constraints.total_weight() <= \
+                res.minimized_cover_size
+
+    def test_clustered_machines_have_heavy_constraints(self):
+        """The generator's cluster structure must yield weights > 1
+        somewhere (the effect the paper's Table VI documents)."""
+        heavy = 0
+        for name in ("ex2", "donfile", "keyb"):
+            sc = build_symbolic_cover(benchmark(name))
+            res = extract_input_constraints(sc, effort="low")
+            if any(w > 1 for w in res.state_constraints.weights.values()):
+                heavy += 1
+        assert heavy >= 1
+
+    def test_low_effort_extraction_valid(self):
+        sc = build_symbolic_cover(benchmark("ex3"))
+        full = extract_input_constraints(sc, effort="full")
+        low = extract_input_constraints(sc, effort="low")
+        assert low.minimized_cover_size >= full.minimized_cover_size

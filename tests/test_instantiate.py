@@ -1,0 +1,137 @@
+"""Tests for PLA instantiation: the encoded machine must behave identically.
+
+The strongest check in the suite: after encoding and re-minimization,
+evaluating the minimized cover on every (input, state) pair must give
+exactly the next-state code and outputs the original FSM specifies.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.encoding.base import Encoding
+from repro.encoding.onehot import random_code
+from repro.eval.instantiate import evaluate_encoding, instantiate
+from repro.fsm.benchmarks import benchmark
+from repro.logic.verify import verify_minimization
+
+
+def eval_cover(pla, input_bits: str, state_code: int):
+    """OR of the output parts of all cubes containing the minterm."""
+    fmt = pla.cover.fmt
+    out_var = fmt.num_vars - 1
+    fields = [{"0": 1, "1": 2}[ch] for ch in input_bits]
+    fields += [2 if (state_code >> b) & 1 else 1
+               for b in range(pla.state_bits)]
+    fields += [(1 << fmt.parts[out_var]) - 1]
+    minterm = fmt.cube_from_fields(fields)
+    result = 0
+    for cube in pla.cover.cubes:
+        if fmt.intersects(cube, minterm):
+            result |= fmt.field(cube, out_var)
+    return result
+
+
+def check_simulation(name: str, enc: Encoding, symbol_enc=None) -> None:
+    fsm = benchmark(name)
+    pla = evaluate_encoding(fsm, enc, symbol_enc)
+    assert verify_minimization(
+        pla.cover, pla.on, pla.dc,
+        pla.off if len(pla.off) else None,
+    ), f"{name}: minimized cover violates the espresso contract"
+    sbits = pla.state_bits
+    if fsm.has_symbolic_input:
+        input_sets = [
+            (symbol_enc.as_bits(fsm.symbol_index(sym))[::-1], sym)
+            for sym in fsm.symbolic_input_values
+        ]
+    else:
+        input_sets = [("".join(bits), None)
+                      for bits in itertools.product("01",
+                                                    repeat=fsm.num_inputs)]
+    for state in fsm.states:
+        code = enc.code_of(fsm.state_index(state))
+        for input_bits, sym in input_sets:
+            expected = fsm.next_state_of(state, "" if sym else input_bits,
+                                         symbol=sym)
+            if expected is None:
+                continue  # unspecified: any behaviour is legal
+            nxt, outs = expected
+            got = eval_cover(pla, input_bits, code)
+            got_state = got & ((1 << sbits) - 1)
+            want_state = enc.code_of(fsm.state_index(nxt)) if nxt != "*" \
+                else None
+            if want_state is not None:
+                assert got_state == want_state, (
+                    f"{name}: {state}/{input_bits} -> wrong next code"
+                )
+            for j, ch in enumerate(outs):
+                bit = (got >> (sbits + j)) & 1
+                if ch == "1":
+                    assert bit == 1, f"{name}: output {j} should be 1"
+                elif ch == "0":
+                    assert bit == 0, f"{name}: output {j} should be 0"
+
+
+class TestInstantiate:
+    def test_layout(self):
+        fsm = benchmark("lion")
+        enc = Encoding(2, [0, 1, 2, 3])
+        on, dc, off, input_bits, state_bits, out_bits = instantiate(fsm, enc)
+        assert input_bits == 2 and state_bits == 2 and out_bits == 0
+        assert len(on) > 0
+
+    def test_size_mismatch_rejected(self):
+        fsm = benchmark("lion")
+        with pytest.raises(ValueError):
+            instantiate(fsm, Encoding(2, [0, 1, 2]))
+
+    def test_symbolic_machine_needs_symbol_encoding(self):
+        fsm = benchmark("dk27")
+        enc = Encoding(3, list(range(7)))
+        with pytest.raises(ValueError):
+            instantiate(fsm, enc)
+
+    def test_unused_codes_become_dc(self):
+        fsm = benchmark("lion9")  # 9 states -> 4 bits, 7 unused codes
+        enc = Encoding(4, list(range(9)))
+        on, dc, off, _, _, _ = instantiate(fsm, enc)
+        assert len(dc) > 0
+
+    def test_area_formula(self):
+        fsm = benchmark("lion")
+        pla = evaluate_encoding(fsm, Encoding(2, [0, 1, 2, 3]))
+        expected = (2 * (2 + 2) + 2 + 1) * pla.num_cubes
+        assert pla.area == expected
+
+
+class TestSimulationEquivalence:
+    def test_lion_sequential_codes(self):
+        check_simulation("lion", Encoding(2, [0, 1, 2, 3]))
+
+    def test_lion_random_codes(self):
+        rng = random.Random(3)
+        check_simulation("lion", random_code(4, rng=rng))
+
+    def test_shiftreg_identity_codes(self):
+        check_simulation("shiftreg", Encoding(3, list(range(8))))
+
+    def test_bbtas_wide_codes(self):
+        check_simulation("bbtas", Encoding(4, [0, 3, 5, 9, 12, 15]))
+
+    def test_train4(self):
+        check_simulation("train4", Encoding(2, [2, 0, 1, 3]))
+
+    def test_symbolic_machine_dk27(self):
+        enc = Encoding(3, [0, 1, 2, 3, 4, 5, 6])
+        sym = Encoding(1, [0, 1])
+        check_simulation("dk27", enc, sym)
+
+    def test_nova_encodings_simulate_correctly(self):
+        from repro.encoding.nova import encode_fsm
+
+        for name in ("lion", "train4", "bbtas"):
+            for alg in ("ihybrid", "igreedy", "iohybrid"):
+                r = encode_fsm(benchmark(name), alg)
+                check_simulation(name, r.state_encoding, r.symbol_encoding)

@@ -1,0 +1,130 @@
+"""End-to-end integration tests: the full paper pipeline on real machines.
+
+These tie every subsystem together and assert the directional results
+the paper's evaluation is built on.
+"""
+
+import random
+
+import pytest
+
+from repro import benchmark, encode_fsm, parse_kiss, to_kiss
+from repro.constraints.input_constraints import extract_input_constraints
+from repro.encoding.base import constraint_satisfied, satisfied_weight
+from repro.eval.multilevel import multilevel_literals
+from repro.fsm.symbolic_cover import build_symbolic_cover
+from repro.logic.verify import verify_minimization
+
+
+class TestPipelineCorrectness:
+    @pytest.mark.parametrize("name", ["lion", "train4", "bbtas", "dk27",
+                                      "beecount", "dol"])
+    def test_minimized_encoded_cover_is_verified(self, name):
+        r = encode_fsm(benchmark(name), "ihybrid")
+        pla = r.pla
+        assert verify_minimization(pla.cover, pla.on, pla.dc,
+                                   pla.off if len(pla.off) else None)
+
+    def test_encoded_cover_never_larger_than_onehot(self):
+        """A good encoding can't do worse than the symbolic upper bound
+        by much; the MV cover size is the 1-hot reference."""
+        for name in ("lion", "bbtas", "shiftreg", "lion9"):
+            r = encode_fsm(benchmark(name), "ihybrid")
+            assert r.cubes <= r.mv_cover_size + max(3, r.mv_cover_size // 3)
+
+    def test_roundtrip_through_kiss_preserves_results(self):
+        fsm = benchmark("bbtas")
+        again = parse_kiss(to_kiss(fsm), name="bbtas2")
+        a = encode_fsm(fsm, "igreedy")
+        b = encode_fsm(again, "igreedy")
+        assert a.cubes == b.cubes and a.area == b.area
+
+    def test_satisfying_more_weight_reduces_cubes(self):
+        """The premise of the whole paper: constraint weight ~ cubes saved."""
+        fsm = benchmark("lion9")
+        sc = build_symbolic_cover(fsm)
+        cs = extract_input_constraints(sc).state_constraints
+        runs = []
+        rng = random.Random(5)
+        for _ in range(8):
+            r = encode_fsm(fsm, "random", rng=rng)
+            w = satisfied_weight(r.state_encoding, cs)
+            runs.append((w, r.cubes))
+        best_w = max(runs)[0]
+        worst_w = min(runs)[0]
+        if best_w > worst_w:
+            avg_high = sum(c for w, c in runs if w == best_w) / \
+                len([1 for w, c in runs if w == best_w])
+            avg_low = sum(c for w, c in runs if w == worst_w) / \
+                len([1 for w, c in runs if w == worst_w])
+            assert avg_high <= avg_low + 2
+
+
+class TestDirectionalClaims:
+    def test_nova_beats_kiss_in_total(self):
+        total_nova = 0
+        total_kiss = 0
+        for name in ("bbtas", "lion9", "ex3", "ex5", "beecount"):
+            fsm = benchmark(name)
+            nova = min(encode_fsm(fsm, a).area
+                       for a in ("ihybrid", "igreedy"))
+            total_nova += nova
+            total_kiss += encode_fsm(fsm, "kiss").area
+        assert total_nova < total_kiss
+
+    def test_iohybrid_helps_somewhere(self):
+        """Output constraints must win on at least one machine (paper:
+        iohybrid's totals beat ihybrid/igreedy on several rows)."""
+        wins = 0
+        for name in ("lion", "train11", "bbtas", "dk27", "beecount"):
+            fsm = benchmark(name)
+            io = encode_fsm(fsm, "iohybrid").area
+            ih = min(encode_fsm(fsm, a).area for a in ("ihybrid", "igreedy"))
+            if io <= ih:
+                wins += 1
+        assert wins >= 1
+
+    def test_multilevel_literals_track_two_level_quality(self):
+        """Table VII's observation: good two-level encodings give good
+        factored-form literal counts too."""
+        fsm = benchmark("lion9")
+        nova = encode_fsm(fsm, "ihybrid")
+        rng = random.Random(17)
+        rand_lits = [
+            multilevel_literals(encode_fsm(fsm, "random", rng=rng).pla)
+            for _ in range(6)
+        ]
+        nova_lits = multilevel_literals(nova.pla)
+        assert nova_lits <= max(rand_lits)
+
+    def test_symbolic_input_machines_full_pipeline(self):
+        for name in ("dk27", "dk15"):
+            fsm = benchmark(name)
+            r = encode_fsm(fsm, "ihybrid")
+            assert r.symbol_encoding is not None
+            assert r.area > 0
+            # both variables' constraints contribute to the bit count
+            assert r.bits >= r.state_encoding.nbits + 1
+
+
+class TestConstraintSemantics:
+    def test_all_sic_constraints_truly_satisfied(self):
+        """Whatever ihybrid reports satisfied must hold for the codes."""
+        from repro.encoding.ihybrid import HybridStats, ihybrid_code
+
+        for name in ("bbtas", "ex3", "lion9", "beecount"):
+            sc = build_symbolic_cover(benchmark(name))
+            cs = extract_input_constraints(sc).state_constraints
+            stats = HybridStats()
+            enc = ihybrid_code(cs, nbits=cs.n, stats=stats)
+            for m in stats.satisfied:
+                assert constraint_satisfied(enc, m), name
+
+    def test_kiss_guarantee_on_pipeline(self):
+        for name in ("bbtas", "ex5", "lion9"):
+            sc = build_symbolic_cover(benchmark(name))
+            cs = extract_input_constraints(sc).state_constraints
+            from repro.baselines.kiss import kiss_code
+
+            enc = kiss_code(cs)
+            assert all(constraint_satisfied(enc, m) for m in cs.masks())

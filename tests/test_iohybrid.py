@@ -1,0 +1,162 @@
+"""Tests for iohybrid_code / iovariant_code / out_encoder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.constraints.output_constraints import (
+    OutputCluster,
+    OutputConstraints,
+    edges_satisfied,
+)
+from repro.encoding.base import constraint_satisfied
+from repro.encoding.iohybrid import IoStats, io_semiexact_code, iohybrid_code, \
+    iovariant_code
+from repro.encoding.out_encoder import out_encoder
+
+
+def _codes_dict(enc):
+    return {i: enc.codes[i] for i in range(enc.n)}
+
+
+class TestOutEncoder:
+    def test_simple_chain(self):
+        # 2 covers 1, 1 covers 0
+        enc = out_encoder(3, [(2, 1), (1, 0)])
+        c = enc.codes
+        assert c[1] & ~c[2] == 0 and c[1] != c[2]
+        assert c[0] & ~c[1] == 0 and c[0] != c[1]
+
+    def test_paper_example_6_2_2_1_constraints(self):
+        """All states cover state 1 (index 0); 6>2, 7>3, 8>4, 6/7/8>5."""
+        edges = [(u, 0) for u in range(1, 8)]
+        edges += [(5, 1), (6, 2), (7, 3)]
+        edges += [(5, 4), (6, 4), (7, 4)]
+        enc = out_encoder(8, edges)
+        assert edges_satisfied(_codes_dict(enc), edges)
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            out_encoder(2, [(0, 1), (1, 0)])
+
+    def test_no_edges(self):
+        enc = out_encoder(4, [])
+        assert len(set(enc.codes)) == 4
+
+
+class TestOutputConstraints:
+    def test_acyclicity_check(self):
+        good = OutputConstraints(3, [OutputCluster(0, [(1, 0), (2, 0)], 1)])
+        assert good.check_acyclic()
+        bad = OutputConstraints(
+            2, [OutputCluster(0, [(1, 0)], 1), OutputCluster(1, [(0, 1)], 1)]
+        )
+        assert not bad.check_acyclic()
+
+    def test_by_weight_order(self):
+        oc = OutputConstraints(3, [
+            OutputCluster(0, [(1, 0)], 1),
+            OutputCluster(1, [(2, 1)], 5),
+        ])
+        assert [c.next_state for c in oc.by_weight()] == [1, 0]
+
+    def test_edges_satisfied_requires_strictness(self):
+        assert not edges_satisfied({0: 3, 1: 3}, [(0, 1)])
+        assert edges_satisfied({0: 3, 1: 1}, [(0, 1)])
+        assert not edges_satisfied({0: 1, 1: 2}, [(0, 1)])
+
+
+class TestIoSemiexact:
+    def test_edges_enforced(self):
+        edges = [(1, 0)]  # code(1) covers code(0)
+        enc = io_semiexact_code([], edges, 4, 2)
+        assert enc is not None
+        assert edges_satisfied(_codes_dict(enc), edges)
+
+    def test_infeasible_edge_combo_returns_none_or_valid(self):
+        # a covering cycle can never be satisfied
+        edges = [(0, 1), (1, 0)]
+        enc = io_semiexact_code([], edges, 3, 2)
+        assert enc is None
+
+
+class TestIohybrid:
+    def _simple_instance(self):
+        cs = ConstraintSet(4)
+        cs.add(0b0011, 3)
+        oc = OutputConstraints(4, [
+            OutputCluster(0, [(1, 0), (2, 0)], 2, companion_ic=[0b0011]),
+        ])
+        return cs, oc
+
+    def test_input_and_output_satisfied(self):
+        cs, oc = self._simple_instance()
+        stats = IoStats()
+        enc = iohybrid_code(cs, oc, stats=stats)
+        assert constraint_satisfied(enc, 0b0011)
+        assert 0 in stats.satisfied_clusters
+        assert edges_satisfied(_codes_dict(enc), oc.clusters[0].edges)
+
+    def test_empty_ic_dispatches_to_out_encoder(self):
+        cs = ConstraintSet(4)
+        oc = OutputConstraints(4, [OutputCluster(0, [(1, 0)], 1)])
+        enc = iohybrid_code(cs, oc)
+        assert edges_satisfied(_codes_dict(enc), [(1, 0)])
+
+    def test_empty_everything(self):
+        enc = iohybrid_code(ConstraintSet(4), OutputConstraints(4))
+        assert len(set(enc.codes)) == 4
+
+    def test_paper_example_6_2_2_1(self):
+        """The clustered instance of Example 6.2.2.1 has a 3-bit solution."""
+        cs = ConstraintSet(8)
+        # IC_o = 01010101 reading state 1 leftmost: states {2,4,6,8}
+        ic_o = sum(1 << s for s in (1, 3, 5, 7))
+        cs.add(ic_o, 1)
+        cs.add(0b00001100, 1)  # {3,4}
+        cs.add(0b00110000, 2)  # {5,6}
+        cs.add(0b11000000, 1)  # {7,8}
+        clusters = [
+            OutputCluster(0, [(u, 0) for u in range(1, 8)], 4),
+            OutputCluster(1, [(5, 1)], 1, companion_ic=[0b00001100]),
+            OutputCluster(2, [(6, 2)], 2, companion_ic=[0b00110000]),
+            OutputCluster(3, [(7, 3)], 1, companion_ic=[0b11000000]),
+            OutputCluster(4, [(5, 4), (6, 4), (7, 4)], 1),
+        ]
+        oc = OutputConstraints(8, clusters, free_ic=[ic_o])
+        for coder in (iohybrid_code, iovariant_code):
+            enc = coder(cs, oc, nbits=3)
+            assert enc.nbits == 3
+            assert len(set(enc.codes)) == 8
+
+    def test_iovariant_couples_clusters(self):
+        cs, oc = self._simple_instance()
+        stats = IoStats()
+        enc = iovariant_code(cs, oc, stats=stats)
+        if 0 in stats.satisfied_clusters:
+            assert constraint_satisfied(enc, 0b0011)
+            assert edges_satisfied(_codes_dict(enc), oc.clusters[0].edges)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=25, deadline=None)
+def test_iohybrid_always_valid(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(4, 8)
+    cs = ConstraintSet(n)
+    for _ in range(rng.randrange(0, 4)):
+        cs.add(rng.randrange(1, 1 << n), rng.randrange(1, 5))
+    clusters = []
+    for i in range(rng.randrange(0, 3)):
+        head = rng.randrange(n)
+        tails = [u for u in range(n) if u != head and rng.random() < 0.3]
+        if tails:
+            clusters.append(OutputCluster(head, [(u, head) for u in tails],
+                                          rng.randrange(1, 4)))
+    oc = OutputConstraints(n, clusters)
+    for coder in (iohybrid_code, iovariant_code):
+        enc = coder(cs, oc)
+        assert len(set(enc.codes)) == n

@@ -1,0 +1,91 @@
+"""Tests for KISS2 parsing and serialization."""
+
+import pytest
+
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.fsm.machine import Transition
+
+LION_KISS = """
+# a classic cattle-crossing controller
+.i 2
+.o 1
+.s 4
+.p 4
+.r st0
+00 st0 st0 0
+01 st0 st1 0
+-1 st1 st1 1
+10 st1 st0 0
+.e
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        fsm = parse_kiss(LION_KISS, name="lion")
+        assert fsm.num_inputs == 2
+        assert fsm.num_outputs == 1
+        assert fsm.states == ["st0", "st1"]
+        assert fsm.reset == "st0"
+        assert len(fsm.transitions) == 4
+
+    def test_comments_stripped(self):
+        fsm = parse_kiss(".i 1\n.o 1\n# comment\n0 a a 0 # trailing\n")
+        assert len(fsm.transitions) == 1
+
+    def test_reset_state_first(self):
+        text = ".i 1\n.o 1\n.r b\n0 a a 0\n1 a b 1\n0 b a 0\n"
+        fsm = parse_kiss(text)
+        assert fsm.states[0] == "b"
+
+    def test_missing_io_directives(self):
+        with pytest.raises(ValueError):
+            parse_kiss("0 a a 0\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ValueError):
+            parse_kiss(".i 1\n.o 1\n.zz 3\n0 a a 0\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError):
+            parse_kiss(".i 1\n.o 1\n0 a a\n")
+
+    def test_symbolic_extension(self):
+        text = ".i 0\n.o 1\n.sym u v\nu - a a 0\nv - a b 1\nu - b b 0\nv - b a 1\n"
+        fsm = parse_kiss(text)
+        assert fsm.symbolic_input_values == ["u", "v"]
+        assert fsm.transitions[0].symbol == "u"
+        assert fsm.transitions[0].inputs == ""
+
+    def test_star_states(self):
+        text = ".i 1\n.o 1\n0 * a 0\n1 a * 1\n"
+        fsm = parse_kiss(text)
+        assert fsm.transitions[0].present == "*"
+        assert fsm.transitions[1].next == "*"
+
+
+class TestRoundTrip:
+    def test_roundtrip_plain(self):
+        fsm = parse_kiss(LION_KISS, name="lion")
+        again = parse_kiss(to_kiss(fsm), name="lion")
+        assert again.states == fsm.states
+        assert again.transitions == fsm.transitions
+        assert again.reset == fsm.reset
+
+    def test_roundtrip_symbolic(self):
+        text = ".i 0\n.o 2\n.sym u v\nu - a b 01\nv - a a 10\nu - b a 00\nv - b b 11\n"
+        fsm = parse_kiss(text)
+        again = parse_kiss(to_kiss(fsm))
+        assert again.transitions == fsm.transitions
+        assert again.symbolic_input_values == fsm.symbolic_input_values
+
+    def test_roundtrip_benchmarks(self):
+        from repro.fsm.benchmarks import benchmark
+
+        for name in ("lion", "bbtas", "dk27", "shiftreg"):
+            fsm = benchmark(name)
+            again = parse_kiss(to_kiss(fsm), name=name)
+            assert again.num_inputs == fsm.num_inputs
+            assert again.num_outputs == fsm.num_outputs
+            assert set(again.states) == set(fsm.states)
+            assert len(again.transitions) == len(fsm.transitions)

@@ -1,0 +1,109 @@
+"""Tests for the FSM data structure."""
+
+import pytest
+
+from repro.fsm.machine import FSM, Transition, minimum_code_length
+
+
+def simple_fsm(**kwargs) -> FSM:
+    rows = [
+        Transition("0", "a", "a", "0"),
+        Transition("1", "a", "b", "1"),
+        Transition("-", "b", "a", "0"),
+    ]
+    defaults = dict(name="t", num_inputs=1, num_outputs=1,
+                    states=["a", "b"], transitions=rows, reset="a")
+    defaults.update(kwargs)
+    return FSM(**defaults)
+
+
+class TestValidation:
+    def test_valid_machine(self):
+        fsm = simple_fsm()
+        assert fsm.num_states == 2
+        assert fsm.state_index("b") == 1
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            simple_fsm(states=["a", "a"])
+
+    def test_unknown_reset_rejected(self):
+        with pytest.raises(ValueError):
+            simple_fsm(reset="zz")
+
+    def test_wrong_input_width_rejected(self):
+        rows = [Transition("00", "a", "a", "0")]
+        with pytest.raises(ValueError):
+            FSM("t", 1, 1, ["a"], rows)
+
+    def test_wrong_output_width_rejected(self):
+        rows = [Transition("0", "a", "a", "00")]
+        with pytest.raises(ValueError):
+            FSM("t", 1, 1, ["a"], rows)
+
+    def test_unknown_state_rejected(self):
+        rows = [Transition("0", "zz", "a", "0")]
+        with pytest.raises(ValueError):
+            FSM("t", 1, 1, ["a"], rows)
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Transition("2", "a", "a", "0")
+
+    def test_symbolic_input_needs_symbol(self):
+        rows = [Transition("", "a", "a", "0")]
+        with pytest.raises(ValueError):
+            FSM("t", 0, 1, ["a"], rows, symbolic_input_values=["x", "y"])
+
+    def test_symbol_on_nonsymbolic_machine_rejected(self):
+        rows = [Transition("0", "a", "a", "0", symbol="x")]
+        with pytest.raises(ValueError):
+            FSM("t", 1, 1, ["a"], rows)
+
+    def test_star_present_and_next_allowed(self):
+        rows = [Transition("0", "*", "*", "0"),
+                Transition("1", "a", "a", "1")]
+        fsm = FSM("t", 1, 1, ["a"], rows)
+        assert fsm.num_states == 1
+
+
+class TestBehaviour:
+    def test_next_state_of(self):
+        fsm = simple_fsm()
+        assert fsm.next_state_of("a", "1") == ("b", "1")
+        assert fsm.next_state_of("b", "0") == ("a", "0")
+        assert fsm.next_state_of("b", "1") == ("a", "0")  # matches '-'
+
+    def test_next_state_of_unspecified(self):
+        rows = [Transition("0", "a", "a", "0")]
+        fsm = FSM("t", 1, 1, ["a"], rows)
+        assert fsm.next_state_of("a", "1") is None
+
+    def test_stats(self):
+        fsm = simple_fsm()
+        assert fsm.stats() == {"inputs": 1, "outputs": 1, "states": 2,
+                               "products": 3}
+
+    def test_stats_counts_symbolic_input(self):
+        rows = [Transition("", "a", "a", "0", symbol="x")]
+        fsm = FSM("t", 0, 1, ["a"], rows, symbolic_input_values=["x", "y"])
+        assert fsm.stats()["inputs"] == 1
+
+    def test_is_completely_specified(self):
+        fsm = simple_fsm()
+        assert fsm.is_completely_specified()
+        rows = [Transition("0", "a", "a", "0")]
+        partial = FSM("t", 1, 1, ["a"], rows)
+        assert not partial.is_completely_specified()
+
+
+class TestMinimumCodeLength:
+    def test_values(self):
+        assert minimum_code_length(1) == 1
+        assert minimum_code_length(2) == 1
+        assert minimum_code_length(3) == 2
+        assert minimum_code_length(4) == 2
+        assert minimum_code_length(5) == 3
+        assert minimum_code_length(16) == 4
+        assert minimum_code_length(17) == 5
+        assert minimum_code_length(121) == 7

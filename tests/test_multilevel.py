@@ -1,0 +1,78 @@
+"""Tests for the quick-factoring multilevel literal estimator."""
+
+from repro.encoding.base import Encoding
+from repro.eval.instantiate import evaluate_encoding
+from repro.eval.multilevel import factored_literals, multilevel_literals, \
+    pla_output_sops
+from repro.fsm.benchmarks import benchmark
+
+
+def lits(*pairs):
+    return frozenset(pairs)
+
+
+class TestFactoredLiterals:
+    def test_empty(self):
+        assert factored_literals([]) == 0
+
+    def test_constant_one(self):
+        assert factored_literals([lits()]) == 0
+
+    def test_single_cube(self):
+        assert factored_literals([lits((0, 1), (1, 0))]) == 2
+
+    def test_no_sharing_is_flat_count(self):
+        sop = [lits((0, 1)), lits((1, 0))]
+        assert factored_literals(sop) == 2
+
+    def test_factoring_beats_flat(self):
+        # ab + ac = a(b + c): flat 4 literals, factored 3
+        sop = [lits((0, 1), (1, 1)), lits((0, 1), (2, 1))]
+        assert factored_literals(sop) == 3
+
+    def test_nested_factoring(self):
+        # abc + abd + abe = ab(c+d+e): flat 9, factored 5
+        sop = [
+            lits((0, 1), (1, 1), (2, 1)),
+            lits((0, 1), (1, 1), (3, 1)),
+            lits((0, 1), (1, 1), (4, 1)),
+        ]
+        assert factored_literals(sop) == 5
+
+    def test_duplicates_collapse(self):
+        sop = [lits((0, 1)), lits((0, 1))]
+        assert factored_literals(sop) == 1
+
+    def test_never_exceeds_flat_form(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(50):
+            sop = []
+            for _ in range(rng.randrange(1, 8)):
+                cube = frozenset(
+                    (v, rng.randrange(2)) for v in range(5)
+                    if rng.random() < 0.5
+                )
+                sop.append(cube)
+            flat = sum(len(c) for c in set(sop))
+            assert factored_literals(sop) <= flat
+
+
+class TestPlaLiterals:
+    def test_output_sops_cover_all_outputs(self):
+        fsm = benchmark("lion")
+        pla = evaluate_encoding(fsm, Encoding(2, [0, 1, 2, 3]))
+        sops = pla_output_sops(pla)
+        assert len(sops) == pla.state_bits + fsm.num_outputs
+
+    def test_multilevel_literals_positive(self):
+        fsm = benchmark("bbtas")
+        pla = evaluate_encoding(fsm, Encoding(3, [0, 1, 2, 3, 4, 5]))
+        assert multilevel_literals(pla) > 0
+
+    def test_shiftreg_identity_encoding_is_wires(self):
+        """With the natural code, a shift register is almost pure wiring."""
+        fsm = benchmark("shiftreg")
+        pla = evaluate_encoding(fsm, Encoding(3, list(range(8))))
+        assert multilevel_literals(pla) <= 4

@@ -1,0 +1,95 @@
+"""Tests for the espresso PLA-format reader/writer."""
+
+import pytest
+
+from repro.logic.cover import from_strings
+from repro.logic.cube import Format
+from repro.logic.espresso import espresso
+from repro.logic.pla_io import PLA, parse_pla, write_pla
+from repro.logic.verify import covers_equivalent
+
+SIMPLE = """
+# a 2-input 2-output example
+.i 2
+.o 2
+.p 3
+01 10
+1- 01
+-- 0-
+.e
+"""
+
+
+class TestParse:
+    def test_binary_pla(self):
+        pla = parse_pla(SIMPLE)
+        assert pla.num_binary == 2
+        assert pla.num_outputs == 2
+        assert len(pla.on) == 2
+        assert len(pla.dc) == 1  # the '-' output of the third row
+
+    def test_type_f_ignores_dc(self):
+        text = ".i 1\n.o 1\n.type f\n0 1\n1 -\n.e\n"
+        pla = parse_pla(text)
+        assert len(pla.on) == 1
+        assert len(pla.dc) == 0
+
+    def test_type_fr_collects_off(self):
+        text = ".i 1\n.o 2\n.type fr\n0 10\n1 01\n.e\n"
+        pla = parse_pla(text)
+        assert len(pla.off) == 2
+
+    def test_mv_pla(self):
+        text = ".mv 3 1 4 2\n0 0110 10\n- 1000 01\n.e\n"
+        pla = parse_pla(text)
+        assert pla.fmt.parts == (2, 4, 2)
+        assert len(pla.on) == 2
+        assert pla.fmt.field(pla.on.cubes[0], 1) == 0b0110
+
+    def test_labels(self):
+        text = ".i 1\n.o 1\n.ilb a\n.ob f\n1 1\n.e\n"
+        pla = parse_pla(text)
+        assert pla.input_labels == ["a"]
+        assert pla.output_labels == ["f"]
+
+    def test_missing_directives(self):
+        with pytest.raises(ValueError):
+            parse_pla("01 1\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ValueError):
+            parse_pla(".i 1\n.o 1\n.zzz\n1 1\n")
+
+    def test_bad_row_width(self):
+        with pytest.raises(ValueError):
+            parse_pla(".i 2\n.o 1\n011 1\n")
+
+    def test_bad_characters(self):
+        with pytest.raises(ValueError):
+            parse_pla(".i 1\n.o 1\nx 1\n")
+        with pytest.raises(ValueError):
+            parse_pla(".i 1\n.o 1\n1 z\n")
+
+
+class TestRoundTrip:
+    def test_binary_roundtrip(self):
+        pla = parse_pla(SIMPLE)
+        text = write_pla(pla.on, pla.num_binary, dc=pla.dc)
+        again = parse_pla(text)
+        assert covers_equivalent(pla.on, again.on)
+        assert covers_equivalent(pla.dc, again.dc)
+
+    def test_mv_roundtrip(self):
+        fmt = Format([2, 2, 5, 3])
+        cover = from_strings(fmt, ["0 - 01100 110", "1 1 10000 001"])
+        text = write_pla(cover, 2)
+        again = parse_pla(text)
+        assert again.fmt == fmt
+        assert covers_equivalent(cover, again.on)
+
+    def test_minimize_from_file_like_text(self):
+        pla = parse_pla(SIMPLE)
+        m = espresso(pla.on, pla.dc)
+        assert len(m) <= len(pla.on)
+        out = write_pla(m, pla.num_binary)
+        assert ".e" in out

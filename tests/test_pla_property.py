@@ -1,0 +1,56 @@
+"""Property tests: PLA text round-trips preserve functions exactly."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Format
+from repro.logic.pla_io import parse_pla, write_pla
+from repro.logic.verify import covers_equivalent
+from tests.conftest import random_cover
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=80, deadline=None)
+def test_binary_pla_roundtrip(seed):
+    rng = random.Random(seed)
+    n_in = rng.randrange(1, 5)
+    n_out = rng.randrange(1, 4)
+    fmt = Format([2] * n_in + [n_out])
+    on = random_cover(fmt, rng.randrange(1, 8), rng)
+    dc = random_cover(fmt, rng.randrange(0, 3), rng)
+    text = write_pla(on, n_in, dc=dc)
+    pla = parse_pla(text)
+    assert pla.fmt == fmt
+    assert covers_equivalent(pla.on, on)
+    if len(dc):
+        assert covers_equivalent(pla.dc, dc)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_mv_pla_roundtrip(seed):
+    rng = random.Random(seed)
+    parts = [2] * rng.randrange(0, 3) + \
+        [rng.randrange(3, 6) for _ in range(rng.randrange(1, 3))] + \
+        [rng.randrange(1, 4)]
+    num_binary = parts.count(2) if 2 in parts[:-1] else 0
+    num_binary = sum(1 for p in parts[:-1] if p == 2)
+    fmt = Format(parts)
+    on = random_cover(fmt, rng.randrange(1, 6), rng)
+    text = write_pla(on, num_binary)
+    pla = parse_pla(text)
+    assert pla.fmt == fmt
+    assert covers_equivalent(pla.on, on)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_is_idempotent(seed):
+    rng = random.Random(seed)
+    fmt = Format([2, 2, 2])
+    on = random_cover(fmt, rng.randrange(1, 6), rng)
+    once = write_pla(parse_pla(write_pla(on, 2)).on, 2)
+    twice = write_pla(parse_pla(once).on, 2)
+    assert once == twice

@@ -1,0 +1,100 @@
+"""Tests for project_code: Proposition 4.2.1 and the greedy loop."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.input_constraints import ConstraintSet
+from repro.encoding.base import Encoding, constraint_satisfied, satisfied_masks
+from repro.encoding.onehot import random_code
+from repro.encoding.project import project_code, raise_for_constraint, satisfy_all
+
+
+def cs_from(masks, n):
+    cs = ConstraintSet(n)
+    for m in masks:
+        cs.add(m)
+    return cs
+
+
+class TestRaise:
+    def test_target_becomes_satisfied(self):
+        enc = Encoding(2, [0, 1, 2, 3])
+        mask = 0b1001  # states 0 and 3: not a face of the 2-cube
+        assert not constraint_satisfied(enc, mask)
+        grown = raise_for_constraint(enc, mask)
+        assert grown.nbits == 3
+        assert constraint_satisfied(grown, mask)
+
+    def test_codes_distinct_after_raise(self):
+        enc = Encoding(2, [0, 1, 2, 3])
+        grown = raise_for_constraint(enc, 0b0101)
+        assert len(set(grown.codes)) == 4
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=100, deadline=None)
+def test_proposition_4_2_1(seed):
+    """Raising preserves every satisfied constraint and adds the target."""
+    rng = random.Random(seed)
+    n = rng.randrange(3, 8)
+    enc = random_code(n, rng=rng)
+    masks = []
+    for _ in range(rng.randrange(1, 5)):
+        m = rng.randrange(1, 1 << n)
+        if bin(m).count("1") >= 2 and m != (1 << n) - 1:
+            masks.append(m)
+    if not masks:
+        return
+    satisfied_before = set(satisfied_masks(enc, masks))
+    target = rng.choice(masks)
+    grown = raise_for_constraint(enc, target)
+    satisfied_after = set(satisfied_masks(grown, masks))
+    assert constraint_satisfied(grown, target)
+    assert satisfied_before <= satisfied_after
+
+
+class TestProjectCode:
+    def test_moves_heaviest_first(self):
+        cs = ConstraintSet(4)
+        cs.add(0b1001, 5)
+        cs.add(0b0110, 1)
+        enc = Encoding(2, [0, 1, 2, 3])
+        ric = [m for m in cs.masks() if not constraint_satisfied(enc, m)]
+        grown, newly = project_code(enc, [], ric, cs)
+        assert 0b1001 in newly
+
+    def test_satisfy_all_terminates_with_all_satisfied(self):
+        n = 6
+        cs = cs_from([0b000011, 0b001100, 0b110000, 0b011110, 0b100001], n)
+        enc = Encoding(3, [0, 1, 2, 3, 4, 5])
+        sic = satisfied_masks(enc, cs.masks())
+        ric = [m for m in cs.masks() if m not in set(sic)]
+        enc2, sic2, ric2 = satisfy_all(enc, sic, ric, cs)
+        assert not ric2
+        for m in cs.masks():
+            assert constraint_satisfied(enc2, m)
+
+    def test_satisfy_all_respects_bit_budget(self):
+        n = 6
+        cs = cs_from([0b100001, 0b010010, 0b001100, 0b110001, 0b011010], n)
+        enc = Encoding(3, [0, 1, 2, 3, 4, 5])
+        sic = satisfied_masks(enc, cs.masks())
+        ric = [m for m in cs.masks() if m not in set(sic)]
+        enc2, _, _ = satisfy_all(enc, sic, ric, cs, max_bits=4)
+        assert enc2.nbits <= 4
+
+    def test_each_call_raises_one_dimension(self):
+        cs = cs_from([0b1001], 4)
+        enc = Encoding(2, [0, 1, 2, 3])
+        grown, _ = project_code(enc, [], [0b1001], cs)
+        assert grown.nbits == enc.nbits + 1
+
+    def test_requires_nonempty_ric(self):
+        import pytest
+
+        cs = cs_from([0b0011], 4)
+        enc = Encoding(2, [0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            project_code(enc, [], [], cs)

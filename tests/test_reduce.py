@@ -1,0 +1,82 @@
+"""Tests for state minimization."""
+
+import itertools
+
+import pytest
+
+from repro.fsm.benchmarks import benchmark
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.reduce import equivalent_state_classes, minimize_states
+
+
+def redundant_fsm() -> FSM:
+    """b and c are behaviourally identical."""
+    rows = [
+        Transition("0", "a", "b", "0"),
+        Transition("1", "a", "c", "0"),
+        Transition("0", "b", "a", "1"),
+        Transition("1", "b", "b", "0"),
+        Transition("0", "c", "a", "1"),
+        Transition("1", "c", "c", "0"),
+    ]
+    return FSM("red", 1, 1, ["a", "b", "c"], rows, reset="a")
+
+
+class TestClasses:
+    def test_redundant_pair_found(self):
+        classes = equivalent_state_classes(redundant_fsm())
+        assert sorted(map(tuple, classes)) == [("a",), ("b", "c")]
+
+    def test_distinct_states_not_merged(self):
+        classes = equivalent_state_classes(benchmark("shiftreg"))
+        assert all(len(c) == 1 for c in classes)
+
+    def test_modulo12_is_minimal(self):
+        classes = equivalent_state_classes(benchmark("modulo12"))
+        assert len(classes) == 12
+
+    def test_output_difference_splits(self):
+        rows = [
+            Transition("-", "a", "a", "0"),
+            Transition("-", "b", "b", "1"),
+        ]
+        fsm = FSM("o", 1, 1, ["a", "b"], rows)
+        assert len(equivalent_state_classes(fsm)) == 2
+
+
+class TestMinimize:
+    def test_merges_redundant(self):
+        small = minimize_states(redundant_fsm())
+        assert small.num_states == 2
+        assert small.reset == "a"
+        # behaviour preserved on every reachable (state, input)
+        big = redundant_fsm()
+        assert small.next_state_of("a", "0")[1] == \
+            big.next_state_of("a", "0")[1]
+
+    def test_behaviour_preserved_exhaustively(self):
+        big = redundant_fsm()
+        small = minimize_states(big)
+        rep = {"a": "a", "b": "b", "c": "b"}
+        for state in big.states:
+            for bits in itertools.product("01", repeat=1):
+                b = big.next_state_of(state, "".join(bits))
+                s = small.next_state_of(rep[state], "".join(bits))
+                assert s[1] == b[1]
+                assert s[0] == rep[b[0]]
+
+    def test_already_minimal_returned_unchanged(self):
+        fsm = benchmark("lion")
+        assert minimize_states(fsm) is fsm
+
+    def test_idempotent(self):
+        small = minimize_states(redundant_fsm())
+        assert minimize_states(small) is small
+
+    def test_benchmarks_mostly_minimal(self):
+        """The suite's machines should be (close to) state-minimal, as
+        the paper's benchmarks are."""
+        for name in ("lion", "bbtas", "train11", "beecount", "dk27"):
+            fsm = benchmark(name)
+            small = minimize_states(fsm)
+            assert small.num_states >= fsm.num_states - 1, name

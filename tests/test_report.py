@@ -1,0 +1,60 @@
+"""Tests for the markdown/CSV report writers."""
+
+from repro.eval.report import ratio_summary, to_csv, to_markdown
+
+
+ROWS = [
+    {"example": "lion", "nova": 77, "kiss": 88, "note": None},
+    {"example": "bbtas", "nova": 195, "kiss": 456, "note": 1.2345},
+]
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        md = to_markdown(ROWS, title="Table III")
+        lines = md.splitlines()
+        assert lines[0] == "**Table III**"
+        assert lines[2].startswith("| example |")
+        assert "|---|" in lines[3]
+        assert md.count("|") >= 4 * 5
+
+    def test_none_rendered_as_dash(self):
+        md = to_markdown(ROWS)
+        assert "| - |" in md.replace("  ", " ")
+
+    def test_float_formatting(self):
+        md = to_markdown(ROWS, float_digits=1)
+        assert "1.2" in md and "1.2345" not in md
+
+    def test_empty(self):
+        assert "(no rows)" in to_markdown([], title="T")
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        import csv
+        import io
+
+        text = to_csv(ROWS)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["example"] == "lion"
+        assert rows[0]["nova"] == "77"
+        assert rows[0]["note"] == ""
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestRatioSummary:
+    def test_percentage(self):
+        s = ratio_summary(ROWS, "nova", "kiss", label="nova/kiss")
+        assert "50%" in s
+        assert "2 machines" in s
+
+    def test_skips_missing(self):
+        rows = ROWS + [{"example": "x", "nova": None, "kiss": 10}]
+        s = ratio_summary(rows, "nova", "kiss")
+        assert "2 machines" in s
+
+    def test_all_missing(self):
+        assert "n/a" in ratio_summary([{"a": None, "b": 0}], "a", "b")

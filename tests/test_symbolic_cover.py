@@ -1,0 +1,91 @@
+"""Tests for FSM -> multiple-valued cover translation."""
+
+import pytest
+
+from repro.fsm.benchmarks import benchmark
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.symbolic_cover import build_symbolic_cover
+
+
+def tiny(rows, **kw):
+    defaults = dict(name="t", num_inputs=1, num_outputs=1,
+                    states=["a", "b"], transitions=rows)
+    defaults.update(kw)
+    return FSM(**defaults)
+
+
+class TestLayout:
+    def test_variable_layout_binary_inputs(self):
+        fsm = benchmark("lion")
+        sc = build_symbolic_cover(fsm)
+        # 2 binary inputs + state var + output var
+        assert sc.fmt.parts == (2, 2, 4, 4 + 1)
+        assert sc.state_var == 2
+        assert sc.output_var == 3
+        assert sc.symbol_var is None
+
+    def test_variable_layout_symbolic_input(self):
+        fsm = benchmark("dk27")
+        sc = build_symbolic_cover(fsm)
+        assert sc.fmt.parts == (2, 7, 7 + 2)
+        assert sc.symbol_var == 0
+        assert sc.state_var == 1
+
+    def test_row_translation(self):
+        rows = [Transition("1", "a", "b", "1"),
+                Transition("0", "a", "a", "0")]
+        sc = build_symbolic_cover(tiny(rows))
+        assert len(sc.on) == 2
+        cube = sc.on.cubes[0]
+        assert sc.state_field(cube) == 0b01  # present state a
+        assert sc.next_state_of_cube(cube) == 1  # next state b
+        # output bit 1 asserted alongside the next state
+        assert sc.fmt.field(cube, sc.output_var) >> 2 == 0b1
+
+    def test_star_present_state(self):
+        rows = [Transition("1", "*", "a", "1"),
+                Transition("0", "a", "a", "0"),
+                Transition("0", "b", "b", "0")]
+        sc = build_symbolic_cover(tiny(rows))
+        assert sc.state_field(sc.on.cubes[0]) == 0b11
+
+    def test_unspecified_next_state_goes_to_dc(self):
+        rows = [Transition("1", "a", "*", "1"),
+                Transition("0", "a", "a", "0"),
+                Transition("-", "b", "b", "0")]
+        sc = build_symbolic_cover(tiny(rows))
+        assert len(sc.dc) == 1
+        # the dc cube covers all next-state columns
+        dc_out = sc.fmt.field(sc.dc.cubes[0], sc.output_var)
+        assert dc_out & 0b11 == 0b11
+
+    def test_dash_output_goes_to_dc(self):
+        rows = [Transition("1", "a", "b", "-"),
+                Transition("0", "a", "a", "0"),
+                Transition("-", "b", "b", "0")]
+        sc = build_symbolic_cover(tiny(rows))
+        assert len(sc.dc) == 1
+
+    def test_off_set_construction(self):
+        rows = [Transition("1", "a", "b", "1"),
+                Transition("0", "a", "a", "0"),
+                Transition("-", "b", "b", "0")]
+        sc = build_symbolic_cover(tiny(rows))
+        # row 1: off asserts "not next state a" and nothing else (out=1)
+        off0 = sc.fmt.field(sc.off.cubes[0], sc.output_var)
+        assert off0 & 0b01  # next state a is denied
+        assert not off0 & 0b10
+
+    def test_next_state_of_cube_errors_on_multiple(self):
+        fsm = benchmark("lion")
+        sc = build_symbolic_cover(fsm)
+        bad = sc.fmt.with_field(sc.on.cubes[0], sc.output_var, 0b11)
+        with pytest.raises(ValueError):
+            sc.next_state_of_cube(bad)
+
+    def test_on_off_disjoint_for_deterministic_machines(self):
+        for name in ("lion", "bbtas", "ex2", "dk14"):
+            sc = build_symbolic_cover(benchmark(name))
+            for a in sc.on.cubes:
+                for b in sc.off.cubes:
+                    assert not sc.fmt.intersects(a, b), name

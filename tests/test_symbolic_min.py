@@ -1,0 +1,77 @@
+"""Tests for symbolic minimization (§6.1)."""
+
+import pytest
+
+from repro.fsm import benchmark, build_symbolic_cover
+from repro.fsm.machine import FSM, Transition
+from repro.symbolic.symbolic_min import symbolic_minimize
+
+
+def tiny_fsm() -> FSM:
+    """Two-state toggle with an output — trivially minimizable."""
+    rows = [
+        Transition("0", "a", "a", "0"),
+        Transition("1", "a", "b", "1"),
+        Transition("0", "b", "b", "1"),
+        Transition("1", "b", "a", "0"),
+    ]
+    return FSM("toggle", 1, 1, ["a", "b"], rows)
+
+
+class TestSymbolicMinimize:
+    def test_runs_on_tiny_machine(self):
+        sc = build_symbolic_cover(tiny_fsm())
+        res = symbolic_minimize(sc)
+        assert res.final_cover_size >= 1
+        assert res.output_constraints.n == 2
+
+    def test_dag_is_acyclic(self):
+        for name in ("lion", "bbtas", "train4", "dk27", "beecount"):
+            sc = build_symbolic_cover(benchmark(name))
+            res = symbolic_minimize(sc)
+            assert res.output_constraints.check_acyclic(), name
+
+    def test_cluster_weights_positive_when_stage_accepted(self):
+        sc = build_symbolic_cover(benchmark("lion9"))
+        res = symbolic_minimize(sc)
+        for cl in res.output_constraints.clusters:
+            if cl.edges:
+                assert cl.weight >= 1
+
+    def test_final_cover_not_larger_than_input(self):
+        for name in ("lion", "bbtas", "shiftreg"):
+            fsm = benchmark(name)
+            sc = build_symbolic_cover(fsm)
+            res = symbolic_minimize(sc)
+            assert res.final_cover_size <= len(sc.on)
+
+    def test_constraints_are_nontrivial_groups(self):
+        sc = build_symbolic_cover(benchmark("bbtas"))
+        res = symbolic_minimize(sc)
+        n = benchmark("bbtas").num_states
+        universe = (1 << n) - 1
+        for m in res.input_constraints.masks():
+            assert m != universe
+            assert bin(m).count("1") >= 2
+
+    def test_companion_ics_relate_to_clusters(self):
+        sc = build_symbolic_cover(benchmark("lion9"))
+        res = symbolic_minimize(sc)
+        n = benchmark("lion9").num_states
+        for cl in res.output_constraints.clusters:
+            assert 0 <= cl.next_state < n
+            for m in cl.companion_ic:
+                assert 0 < m < (1 << n)
+
+    def test_symbol_constraints_for_symbolic_input_machines(self):
+        sc = build_symbolic_cover(benchmark("dk27"))
+        res = symbolic_minimize(sc)
+        assert res.symbol_constraints is not None
+        assert res.symbol_constraints.n == 2
+
+    def test_edges_reference_valid_states(self):
+        sc = build_symbolic_cover(benchmark("train11"))
+        res = symbolic_minimize(sc)
+        n = benchmark("train11").num_states
+        for u, v in res.output_constraints.all_edges():
+            assert 0 <= u < n and 0 <= v < n and u != v

@@ -1,0 +1,116 @@
+"""Tests for the symbolic proper-output extension (§VII future work)."""
+
+import pytest
+
+from repro.encoding.nova import encode_fsm
+from repro.encoding.osym import out_symbol_encoding, output_symbol_dominance
+from repro.encoding.verify import verify_encoded_machine
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.symbolic_cover import build_symbolic_cover
+
+# a microcode-style controller whose output is a symbolic command
+KISS_TEXT = """
+.i 2
+.o 1
+.symout NOP LOAD STORE HALT
+.r fetch
+00 fetch fetch  0 NOP
+01 fetch decode 0 LOAD
+1- fetch halt   0 HALT
+0- decode exec  1 LOAD
+1- decode fetch 0 STORE
+-- exec  fetch  1 STORE
+-- halt  halt   0 HALT
+"""
+
+
+def controller() -> FSM:
+    return parse_kiss(KISS_TEXT, name="micro")
+
+
+class TestModel:
+    def test_parse_and_validate(self):
+        fsm = controller()
+        assert fsm.symbolic_output_values == ["NOP", "LOAD", "STORE", "HALT"]
+        assert fsm.transitions[0].out_symbol == "NOP"
+        assert fsm.stats()["outputs"] == 2  # 1 binary + 1 symbolic
+
+    def test_kiss_roundtrip(self):
+        fsm = controller()
+        again = parse_kiss(to_kiss(fsm), name="micro")
+        assert again.transitions == fsm.transitions
+        assert again.symbolic_output_values == fsm.symbolic_output_values
+
+    def test_missing_out_symbol_rejected(self):
+        rows = [Transition("0", "a", "a", "0")]
+        with pytest.raises(ValueError):
+            FSM("t", 1, 1, ["a"], rows, symbolic_output_values=["X", "Y"])
+
+    def test_out_symbol_on_plain_machine_rejected(self):
+        rows = [Transition("0", "a", "a", "0", out_symbol="X")]
+        with pytest.raises(ValueError):
+            FSM("t", 1, 1, ["a"], rows)
+
+
+class TestCover:
+    def test_output_columns_extended(self):
+        fsm = controller()
+        sc = build_symbolic_cover(fsm)
+        assert sc.num_out_symbol_parts == 4
+        # output var: 4 states + 1 output + 4 symbols
+        assert sc.fmt.parts[sc.output_var] == 4 + 1 + 4
+
+    def test_rows_assert_their_symbol_column(self):
+        fsm = controller()
+        sc = build_symbolic_cover(fsm)
+        cube = sc.on.cubes[0]  # the NOP row
+        out = sc.fmt.field(cube, sc.output_var)
+        base = sc.num_next_parts + fsm.num_outputs
+        assert (out >> base) & 0b1111 == 0b0001
+
+
+class TestEncoding:
+    def test_dominance_edges_well_formed(self):
+        sc = build_symbolic_cover(controller())
+        edges = output_symbol_dominance(sc)
+        for u, v in edges:
+            assert 0 <= u < 4 and 0 <= v < 4 and u != v
+
+    def test_out_symbol_encoding_injective(self):
+        sc = build_symbolic_cover(controller())
+        enc = out_symbol_encoding(sc)
+        assert len(set(enc.codes)) == 4
+        assert enc.nbits >= 2
+
+    def test_requires_symbolic_output(self):
+        from repro.fsm.benchmarks import benchmark
+
+        sc = build_symbolic_cover(benchmark("lion"))
+        with pytest.raises(ValueError):
+            out_symbol_encoding(sc)
+
+    @pytest.mark.parametrize("alg", ["ihybrid", "igreedy", "iohybrid"])
+    def test_full_pipeline_and_simulation(self, alg):
+        fsm = controller()
+        r = encode_fsm(fsm, alg)
+        assert r.out_symbol_encoding is not None
+        assert r.pla.out_bits == r.out_symbol_encoding.nbits
+        report = verify_encoded_machine(
+            fsm, r.state_encoding, r.pla,
+            out_symbol_enc=r.out_symbol_encoding,
+        )
+        assert report.ok, report.mismatches
+
+    def test_area_counts_symbol_columns(self):
+        fsm = controller()
+        r = encode_fsm(fsm, "ihybrid")
+        cols = 2 * (2 + r.state_encoding.nbits) + r.state_encoding.nbits \
+            + 1 + r.out_symbol_encoding.nbits
+        assert r.area == cols * r.cubes
+
+    def test_verifier_needs_symbol_encoding(self):
+        fsm = controller()
+        r = encode_fsm(fsm, "ihybrid")
+        with pytest.raises(ValueError):
+            verify_encoded_machine(fsm, r.state_encoding, r.pla)

@@ -1,0 +1,100 @@
+"""Tests for the unate-recursive paradigm: tautology and complement."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover, from_strings
+from repro.logic.cube import Format
+from repro.logic.urp import complement, tautology
+from tests.conftest import cover_minterms, enumerate_minterms, random_cover
+
+
+class TestTautology:
+    def test_empty_cover_is_not_taut(self):
+        assert not tautology(Cover(Format([2, 2])))
+
+    def test_universe_cube(self):
+        fmt = Format([2, 2])
+        assert tautology(Cover(fmt, [fmt.universe]))
+
+    def test_complementary_pair(self):
+        fmt = Format([2, 2])
+        assert tautology(from_strings(fmt, ["0 -", "1 -"]))
+
+    def test_missing_column(self):
+        fmt = Format([2, 2])
+        assert not tautology(from_strings(fmt, ["0 -", "1 0"]))
+
+    def test_mv_variable_split(self):
+        fmt = Format([3, 2])
+        f = Cover(fmt, [
+            fmt.cube_from_fields([0b011, 3]),
+            fmt.cube_from_fields([0b100, 1]),
+            fmt.cube_from_fields([0b100, 2]),
+        ])
+        assert tautology(f)
+
+    def test_output_column_not_covered(self):
+        fmt = Format([2, 3])
+        f = Cover(fmt, [fmt.cube_from_fields([3, 0b011])])
+        assert not tautology(f)
+
+
+class TestComplement:
+    def test_empty_cover(self):
+        fmt = Format([2, 2])
+        comp = complement(Cover(fmt))
+        assert comp.cubes == [fmt.universe]
+
+    def test_universe(self):
+        fmt = Format([2, 2])
+        assert complement(Cover(fmt, [fmt.universe])).cubes == []
+
+    def test_single_cube_de_morgan(self):
+        fmt = Format([2, 2])
+        f = from_strings(fmt, ["1 1"])
+        comp = complement(f)
+        assert cover_minterms(comp) == (
+            set(enumerate_minterms(fmt)) - cover_minterms(f)
+        )
+
+    def test_mv_complement(self):
+        fmt = Format([4, 2])
+        f = Cover(fmt, [fmt.cube_from_fields([0b0011, 3])])
+        comp = complement(f)
+        assert cover_minterms(comp) == (
+            set(enumerate_minterms(fmt)) - cover_minterms(f)
+        )
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=80, deadline=None)
+def test_complement_exact(seed):
+    """complement(F) covers exactly the minterms F misses."""
+    rng = random.Random(seed)
+    fmt = Format(rng.choice([[2, 2, 2], [3, 2], [2, 4], [2, 2, 3]]))
+    f = random_cover(fmt, rng.randrange(0, 6), rng)
+    comp = complement(f)
+    universe = set(enumerate_minterms(fmt))
+    assert cover_minterms(comp) == universe - cover_minterms(f)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=80, deadline=None)
+def test_tautology_exact(seed):
+    rng = random.Random(seed)
+    fmt = Format(rng.choice([[2, 2, 2], [3, 2], [2, 4]]))
+    f = random_cover(fmt, rng.randrange(0, 7), rng)
+    brute = cover_minterms(f) == set(enumerate_minterms(fmt))
+    assert tautology(f) == brute
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=50, deadline=None)
+def test_double_complement_identity(seed):
+    rng = random.Random(seed)
+    fmt = Format([2, 2, 2])
+    f = random_cover(fmt, rng.randrange(0, 5), rng)
+    assert cover_minterms(complement(complement(f))) == cover_minterms(f)

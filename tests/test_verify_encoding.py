@@ -1,0 +1,65 @@
+"""Tests for the public encoding verifier."""
+
+import pytest
+
+from repro.encoding.base import Encoding
+from repro.encoding.nova import encode_fsm
+from repro.encoding.verify import verify_encoded_machine
+from repro.eval.instantiate import EncodedPLA, evaluate_encoding
+from repro.fsm.benchmarks import benchmark
+from repro.logic.cover import Cover
+
+
+class TestVerifier:
+    def test_good_encodings_pass(self):
+        for name in ("lion", "train4", "bbtas"):
+            fsm = benchmark(name)
+            r = encode_fsm(fsm, "ihybrid")
+            report = verify_encoded_machine(fsm, r.state_encoding, r.pla,
+                                            r.symbol_encoding)
+            assert report
+            assert report.checked_pairs > 0
+            assert not report.mismatches
+
+    def test_symbolic_machine(self):
+        fsm = benchmark("dk27")
+        r = encode_fsm(fsm, "igreedy")
+        report = verify_encoded_machine(fsm, r.state_encoding, r.pla,
+                                        r.symbol_encoding)
+        assert report
+
+    def test_symbolic_machine_requires_symbol_encoding(self):
+        fsm = benchmark("dk27")
+        r = encode_fsm(fsm, "igreedy")
+        with pytest.raises(ValueError):
+            verify_encoded_machine(fsm, r.state_encoding, r.pla, None)
+
+    def test_corrupted_cover_detected(self):
+        fsm = benchmark("lion")
+        r = encode_fsm(fsm, "ihybrid")
+        pla = r.pla
+        broken = EncodedPLA(
+            fsm=pla.fsm, state_bits=pla.state_bits,
+            input_bits=pla.input_bits,
+            cover=Cover(pla.cover.fmt, pla.cover.cubes[:-1]),  # drop a cube
+            on=pla.on, dc=pla.dc, off=pla.off,
+        )
+        report = verify_encoded_machine(fsm, r.state_encoding, broken)
+        assert not report.ok
+        assert report.mismatches
+
+    def test_wrong_codes_detected(self):
+        fsm = benchmark("lion")
+        good = encode_fsm(fsm, "ihybrid")
+        # evaluate with one encoding, verify against a different one
+        other = Encoding(good.state_encoding.nbits,
+                         list(reversed(good.state_encoding.codes)))
+        report = verify_encoded_machine(fsm, other, good.pla)
+        assert not report.ok
+
+    def test_pair_budget_respected(self):
+        fsm = benchmark("bbtas")
+        r = encode_fsm(fsm, "ihybrid")
+        report = verify_encoded_machine(fsm, r.state_encoding, r.pla,
+                                        max_pairs=3)
+        assert report.checked_pairs <= 3
