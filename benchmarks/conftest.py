@@ -19,11 +19,23 @@ from typing import Dict, List
 
 import pytest
 
+from repro import perf
 from repro.eval.tables import format_table
 from repro.fsm.benchmarks import benchmark_names
 
 SUBSET = os.environ.get("NOVA_BENCH_SET", "small")
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# substrate counters appended to every recorded row (compact names keep
+# the fixed-width reports readable); totals since the test started, so
+# multi-round pytest-benchmark runs accumulate across rounds
+PERF_ROW_COUNTERS = {
+    "taut": "tautology_calls",
+    "urp_rec": "urp_recursions",
+    "memo_hit": "contains_memo_hits",
+    "exp_raise": "expand_raises",
+    "pe_work": "pos_equiv_work",
+}
 
 _tables: Dict[str, List[dict]] = defaultdict(list)
 _notes: Dict[str, List[str]] = defaultdict(list)
@@ -40,11 +52,33 @@ def subset_names(table: str = "paper30") -> List[str]:
 
 
 def record(table: str, row: dict) -> None:
+    stats = perf.STATS
+    if stats is not None:
+        for col, counter in PERF_ROW_COUNTERS.items():
+            row.setdefault(col, getattr(stats, counter))
     _tables[table].append(row)
 
 
 def note(table: str, text: str) -> None:
     _notes[table].append(text)
+
+
+@pytest.fixture(autouse=True)
+def _perf_counters(request):
+    """Collect substrate counters per benchmark test.
+
+    ``record()`` reads the live stats when called inside the test; at
+    teardown the full counter set lands in ``benchmark.extra_info`` so
+    the pytest-benchmark JSON carries it too.
+    """
+    bench = request.getfixturevalue("benchmark") \
+        if "benchmark" in request.fixturenames else None
+    with perf.collect() as stats:
+        yield stats
+    if bench is not None:
+        for key, value in stats.as_dict().items():
+            if value:
+                bench.extra_info[key] = value
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -114,7 +114,7 @@ def _greedy_embed(n: int, nbits: int,
         )
         # code minimizing weighted Hamming distance to placed neighbours
         def cost(code: int) -> Tuple[int, int]:
-            c = sum(w(best, o) * bin(code ^ placed[o]).count("1")
+            c = sum(w(best, o) * (code ^ placed[o]).bit_count()
                     for o in placed)
             return (c, code)
 

@@ -178,6 +178,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="NOVA state assignment (reproduction of Villa & "
                     "Sangiovanni-Vincentelli, TCAD 1990)",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="collect substrate perf counters (tautology calls, URP "
+             "recursions, cache hits, pass times) and print a summary "
+             "to stderr when the command finishes; NOVA_PERF=1 in the "
+             "environment does the same")
     sub = parser.add_subparsers(dest="command", required=True)
 
     enc = sub.add_parser("encode", help="encode one machine")
@@ -219,6 +225,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     ver.set_defaults(func=_cmd_verify)
 
     args = parser.parse_args(argv)
+    from repro import perf
+
+    if args.stats or perf.enabled():
+        with perf.collect() as stats:
+            rc = args.func(args)
+        print(stats.summary(), file=sys.stderr)
+        return rc
     return args.func(args)
 
 

@@ -10,7 +10,9 @@ so the face contains ``2**level`` vertices — matching the paper's
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
+
+_UNIVERSE_CACHE: Dict[int, "Face"] = {}
 
 
 class Face:
@@ -34,7 +36,12 @@ class Face:
 
     @classmethod
     def universe(cls, k: int) -> "Face":
-        return cls(k, 0, 0)
+        # faces are immutable, so the per-k universe is shared: the
+        # embedding engine asks for it millions of times per search
+        face = _UNIVERSE_CACHE.get(k)
+        if face is None:
+            face = _UNIVERSE_CACHE[k] = cls(k, 0, 0)
+        return face
 
     @classmethod
     def spanning(cls, k: int, codes) -> "Face":
@@ -53,11 +60,11 @@ class Face:
     # ------------------------------------------------------------------
     @property
     def level(self) -> int:
-        return self.k - bin(self.care).count("1")
+        return self.k - self.care.bit_count()
 
     @property
     def cardinality(self) -> int:
-        return 1 << self.level
+        return 1 << (self.k - self.care.bit_count())
 
     def contains_code(self, code: int) -> bool:
         return (code ^ self.val) & self.care == 0

@@ -57,7 +57,7 @@ class InputGraph:
 
     # ------------------------------------------------------------------
     def _build_edges(self) -> None:
-        by_card = sorted(self.nodes, key=lambda m: bin(m).count("1"))
+        by_card = sorted(self.nodes, key=lambda m: m.bit_count())
         for ic in by_card:
             if ic == self.universe:
                 self.fathers[ic] = []
@@ -91,10 +91,10 @@ class InputGraph:
     def primaries(self) -> List[int]:
         """Category-1 constraints, largest first (NOVA's dimvect order)."""
         prim = [ic for ic in self.nodes if self.category(ic) == 1]
-        return sorted(prim, key=lambda m: (-bin(m).count("1"), m))
+        return sorted(prim, key=lambda m: (-m.bit_count(), m))
 
     def cardinality(self, ic: int) -> int:
-        return bin(ic).count("1")
+        return ic.bit_count()
 
     def non_universe_nodes(self) -> List[int]:
         return [ic for ic in self.nodes if ic != self.universe]

@@ -33,18 +33,19 @@ from repro.constraints.faces import (
     min_level,
     subfaces,
 )
+from repro import perf
 from repro.constraints.input_constraints import ConstraintSet
 from repro.constraints.poset import InputGraph
 from repro.encoding.base import Encoding
+from repro.perf.budget import Budget, BudgetExceeded
 
 # an io_check receives (state, proposed code, codes fixed so far) and may
 # veto the assignment -- used by io_semiexact_code to enforce output
 # covering constraints while the input search runs
 IoCheck = Callable[[int, int, Dict[int, int]], bool]
 
-
-class _WorkLimit(Exception):
-    """Raised when the bounded search exceeds its max_work budget."""
+# back-compat alias: the bounded search used to raise its own exception
+_WorkLimit = BudgetExceeded
 
 
 # ----------------------------------------------------------------------
@@ -117,22 +118,39 @@ class _PosEquiv:
         dimvect: Optional[Dict[int, int]] = None,
         max_work: Optional[int] = None,
         io_check: Optional[IoCheck] = None,
+        budget: Optional[Budget] = None,
     ):
         self.ig = ig
         self.k = k
         self.dimvect = dimvect or {}
-        self.max_work = max_work
+        # one unified budget: per-call work cap, optionally a shared
+        # wall-clock deadline inherited from the caller
+        self.budget = budget.sub(work=max_work) if budget is not None \
+            else Budget(work=max_work)
         self.io_check = io_check
-        self.work = 0
         self.enc: Dict[int, Face] = {ig.universe: Face.universe(k)}
         self.used: Dict[Face, int] = {}
         self.codes: Dict[int, int] = {}  # state -> code, for io_check
+        # per-node father lists without the universe, precomputed once:
+        # the selection loop and the region computation run once per
+        # search node x candidate and must not re-filter every time
+        self._nodes = list(ig.non_universe_nodes())
+        self._real_fathers: Dict[int, List[int]] = {
+            ic: [f for f in ig.fathers[ic] if f != ig.universe]
+            for ic in self._nodes
+        }
+        # region masks stay valid while only singletons are (un)assigned
+        # -- singleton codes are never anyone's father face -- so the
+        # memo survives the long vertex-placement phases of the search
+        self._region_memo: Dict[int, Optional[Tuple[int, int]]] = {}
+
+    @property
+    def work(self) -> int:
+        return self.budget.work
 
     # -- bookkeeping ----------------------------------------------------
     def _charge(self) -> None:
-        self.work += 1
-        if self.max_work is not None and self.work > self.max_work:
-            raise _WorkLimit()
+        self.budget.charge()
 
     def _is_singleton(self, ic: int) -> bool:
         return ic & (ic - 1) == 0
@@ -195,6 +213,8 @@ class _PosEquiv:
         self.used[face] = ic
         if self._is_singleton(ic):
             self.codes[ic.bit_length() - 1] = face.val
+        else:
+            self._region_memo.clear()
         return [ic]
 
     def _undo(self, nodes: List[int]) -> None:
@@ -203,17 +223,22 @@ class _PosEquiv:
             self.used.pop(face, None)
             if self._is_singleton(node):
                 self.codes.pop(node.bit_length() - 1, None)
+            else:
+                self._region_memo.clear()
 
     # -- node selection (next_to_code, §3.4.1) ----------------------------
     def _selectable(self) -> List[int]:
+        enc = self.enc
         out = []
-        for ic in self.ig.non_universe_nodes():
-            if ic in self.enc:
+        for ic in self._nodes:
+            if ic in enc:
                 continue
-            if any(f not in self.enc for f in self.ig.fathers[ic]
-                   if f != self.ig.universe):
-                continue  # encode fathers first (their faces bound ours)
-            out.append(ic)
+            # encode fathers first (their faces bound ours)
+            for f in self._real_fathers[ic]:
+                if f not in enc:
+                    break
+            else:
+                out.append(ic)
         return out
 
     def _target_level(self, ic: int) -> int:
@@ -228,33 +253,66 @@ class _PosEquiv:
         candidates = self._selectable()
         if not candidates:
             return None
-
-        def key(ic: int) -> Tuple:
+        # non-singleton constraints always outrank singletons (their key
+        # tuples sorted first), so singleton regions -- the expensive part
+        # of MRV -- only need computing when nothing but vertices is left
+        ig = self.ig
+        best = None
+        best_key: Optional[Tuple] = None
+        for ic in candidates:
             if self._is_singleton(ic):
-                # MRV: most-constrained singleton first (smallest region)
-                region = self._region(ic)
-                room = region.cardinality if region is not None else 0
-                return (1, room, ic)
-            cat = self.ig.category(ic)
-            shares = lic is not None and self.ig.share_children(ic, lic)
+                continue
+            shares = lic is not None and ig.share_children(ic, lic)
             # larger faces first, then category 1, then children sharing
-            return (0, -self._target_level(ic), cat != 1, not shares, ic)
-
-        return min(candidates, key=key)
+            k = (-self._target_level(ic), ig.category(ic) != 1,
+                 not shares, ic)
+            if best_key is None or k < best_key:
+                best, best_key = ic, k
+        if best is not None:
+            return best
+        for ic in candidates:
+            # MRV: most-constrained singleton first (smallest region)
+            masks = self._region_masks(ic)
+            room = 0 if masks is None \
+                else 1 << (self.k - masks[0].bit_count())
+            k = (room, ic)
+            if best_key is None or k < best_key:
+                best, best_key = ic, k
+        return best
 
     # -- face generation (assign_face / genface, §3.4.2) -------------------
+    def _region_masks(self, ic: int) -> Optional[Tuple[int, int]]:
+        """``(care, val)`` of the assigned fathers' intersection.
+
+        Pure integer arithmetic — the MRV selection calls this for
+        every unplaced singleton at every search node, so no Face
+        objects are allocated.  Returns ``None`` when the fathers'
+        faces are disjoint (empty region).
+        """
+        memo = self._region_memo
+        if ic in memo:
+            return memo[ic]
+        care = 0
+        val = 0
+        enc_get = self.enc.get
+        for fa in self._real_fathers[ic]:
+            face = enc_get(fa)
+            if face is None:
+                continue
+            if (val ^ face.val) & care & face.care:
+                memo[ic] = None
+                return None
+            care |= face.care
+            val |= face.val
+        memo[ic] = (care, val)
+        return care, val
+
     def _region(self, ic: int) -> Optional[Face]:
         """Intersection of the assigned fathers' faces: the search region."""
-        region = Face.universe(self.k)
-        for fa in self.ig.fathers[ic]:
-            fa_face = self.enc.get(fa)
-            if fa_face is None:
-                continue
-            inter = region.intersect(fa_face)
-            if inter is None:
-                return None
-            region = inter
-        return region
+        masks = self._region_masks(ic)
+        if masks is None:
+            return None
+        return Face(self.k, masks[0], masks[1])
 
     def _candidate_faces(self, ic: int) -> Iterator[Face]:
         ig = self.ig
@@ -288,9 +346,13 @@ class _PosEquiv:
         try:
             if self._search(None):
                 return dict(self.enc)
-        except _WorkLimit:
             return None
-        return None
+        except BudgetExceeded:
+            return None
+        finally:
+            stats = perf.STATS
+            if stats is not None:
+                stats.pos_equiv_work += self.budget.work
 
     def _search(self, lic: Optional[int]) -> bool:
         ic = self._select_next(lic)
@@ -329,9 +391,10 @@ def pos_equiv(
     dimvect: Optional[Dict[int, int]] = None,
     max_work: Optional[int] = None,
     io_check: Optional[IoCheck] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[Encoding]:
     """Decide restricted SUBPOSET EQUIVALENCE; return an encoding if any."""
-    engine = _PosEquiv(ig, k, dimvect, max_work, io_check)
+    engine = _PosEquiv(ig, k, dimvect, max_work, io_check, budget)
     result = engine.solve()
     if result is None:
         return None
@@ -370,19 +433,19 @@ def iexact_code(
     Exact in spirit and on the benchmark sizes it is meant for; the
     ``max_work`` / ``max_vectors`` / ``time_budget`` budgets make the
     worst cases give up (returning None) exactly as the paper reports
-    for scf and tbk.
+    for scf and tbk.  The wall-clock deadline is shared with every
+    ``pos_equiv`` call through one :class:`~repro.perf.Budget`, so a
+    single runaway vector can no longer overshoot the time budget.
     """
-    import time as _time
-
-    deadline = None if time_budget is None else _time.monotonic() + time_budget
+    budget = Budget(seconds=time_budget)
     ig = InputGraph(cs.n, cs.masks())
     upper = cs.n if max_k is None else max_k
     primaries = [p for p in ig.primaries() if p & (p - 1)]  # non-singletons
     for k in range(mincube_dim(ig), upper + 1):
         for dimvect in _level_vectors(primaries, ig, k, max_vectors):
-            if deadline is not None and _time.monotonic() > deadline:
+            if budget.expired():
                 return None
-            enc = pos_equiv(ig, k, dimvect, max_work)
+            enc = pos_equiv(ig, k, dimvect, max_work, budget=budget)
             if enc is not None:
                 return enc
     return None
@@ -394,10 +457,11 @@ def semiexact_code(
     k: int,
     max_work: int = 20_000,
     io_check: Optional[IoCheck] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[Encoding]:
     """Bounded backtrack coding (§4.1): min-level faces, capped work."""
     ig = InputGraph(n, list(masks))
     if mincube_dim(ig) > k:
         return None
     return pos_equiv(ig, k, dimvect=None, max_work=max_work,
-                     io_check=io_check)
+                     io_check=io_check, budget=budget)

@@ -67,7 +67,7 @@ def igreedy_code(cs: ConstraintSet, nbits: Optional[int] = None) -> Encoding:
     closed = closure_intersection(n, cs.masks())
     universe = (1 << n) - 1
     targets = [m for m in closed if m != universe and m & (m - 1)]
-    targets.sort(key=lambda m: (bin(m).count("1"), -cs.weights.get(m, 0), m))
+    targets.sort(key=lambda m: (m.bit_count(), -cs.weights.get(m, 0), m))
 
     codes: Dict[int, int] = {}
     for mask in targets:

@@ -53,7 +53,7 @@ def out_encoder(n: int, edges: Iterable[Tuple[int, int]]) -> Encoding:
             candidates = sorted(
                 (c for c in range(1 << width)
                  if c & base == base and c not in used),
-                key=lambda c: (bin(c).count("1"), c),
+                key=lambda c: (c.bit_count(), c),
             )
             if candidates:
                 code = candidates[0]

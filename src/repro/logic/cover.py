@@ -2,9 +2,25 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.logic.cube import Format
+
+# Bounded memo for contains_cube (see Cover.contains_cube).  The key is
+# (format parts, cube tuple, queried cube): building it is O(n) but a
+# hit saves a full URP tautology run, which dominates irredundant and
+# the tautology-oracle expand.  The cache is flushed wholesale when it
+# fills — the workloads are bursts of queries against a handful of
+# covers, so LRU bookkeeping buys nothing over a flush.
+CONTAINS_MEMO = True
+_CONTAINS_MEMO_MAX = 8192
+_contains_memo: Dict[Tuple, bool] = {}
+
+
+def clear_contains_memo() -> None:
+    """Drop all memoized containment answers (mostly for benchmarks)."""
+    _contains_memo.clear()
 
 
 class Cover:
@@ -65,6 +81,9 @@ class Cover:
     # ------------------------------------------------------------------
     def cofactor(self, against: int) -> "Cover":
         """Cofactor every cube against *against*, dropping empty results."""
+        stats = perf.STATS
+        if stats is not None:
+            stats.cofactor_calls += 1
         fmt = self.fmt
         out = Cover(fmt)
         raise_mask = fmt.universe & ~against
@@ -84,24 +103,65 @@ class Cover:
         return out
 
     def single_cube_containment(self) -> "Cover":
-        """Drop every cube contained in another single cube of the cover."""
-        # sort by decreasing minterm count so containers come first
+        """Drop every cube contained in another single cube of the cover.
+
+        Duplicates collapse via a set, then candidates are visited in
+        decreasing minterm-count order (containers first).  A cube can
+        only be contained by one with strictly more set bits, so the
+        quadratic scan compares popcounts before touching the masks and
+        skips the bulk of the pairs on typical covers.
+        """
+        stats = perf.STATS
+        if stats is not None:
+            stats.scc_calls += 1
         fmt = self.fmt
-        order = sorted(self.cubes, key=fmt.minterm_count, reverse=True)
+        n_in = len(self.cubes)
+        if n_in <= 1:
+            return self.copy()
+        order = sorted(set(self.cubes), key=fmt.minterm_count, reverse=True)
         kept: List[int] = []
+        kept_pc: List[int] = []
         for c in order:
-            if any(c & ~k == 0 for k in kept):
-                continue
-            kept.append(c)
+            pc = c.bit_count()
+            contained = False
+            for k, kpc in zip(kept, kept_pc):
+                if kpc > pc and c & ~k == 0:
+                    contained = True
+                    break
+            if not contained:
+                kept.append(c)
+                kept_pc.append(pc)
+        if stats is not None:
+            stats.scc_dropped += n_in - len(kept)
         out = Cover(fmt)
         out.cubes = kept
         return out
 
     def contains_cube(self, cube: int) -> bool:
-        """True when the cover covers every minterm of *cube*."""
+        """True when the cover covers every minterm of *cube*.
+
+        Answers are memoized in a bounded module-level cache: the
+        reduce/expand/irredundant loop and the tautology-oracle expand
+        re-ask the same (cover, cube) questions many times per pass.
+        """
         from repro.logic.urp import tautology
 
-        return tautology(self.cofactor(cube))
+        stats = perf.STATS
+        if stats is not None:
+            stats.contains_calls += 1
+        if not CONTAINS_MEMO:
+            return tautology(self.cofactor(cube))
+        key = (self.fmt.parts, tuple(self.cubes), cube)
+        hit = _contains_memo.get(key)
+        if hit is not None:
+            if stats is not None:
+                stats.contains_memo_hits += 1
+            return hit
+        result = tautology(self.cofactor(cube))
+        if len(_contains_memo) >= _CONTAINS_MEMO_MAX:
+            _contains_memo.clear()
+        _contains_memo[key] = result
+        return result
 
     def covers(self, other: "Cover") -> bool:
         """True when this cover covers every cube of *other*."""
@@ -122,15 +182,26 @@ class Cover:
     # cost measures
     # ------------------------------------------------------------------
     def literal_cost(self) -> int:
-        """Total number of *care* positions: lower is a better cover."""
+        """Espresso-convention literal count: lower is a better cover.
+
+        Input planes (every variable but the last) charge one literal
+        per *excluded* value — a binary ``0``/``1`` costs 1, don't-care
+        costs 0.  The last variable is the multi-output plane
+        (ESPRESSO-MV convention, see :mod:`repro.logic.cube`): there a
+        cube is charged one literal per *asserted* output, so a cube
+        driving 2 of 3 outputs costs 2, not the 1 the zero-count would
+        give.
+        """
         fmt = self.fmt
+        out_var = fmt.num_vars - 1
+        out_mask = fmt.masks[out_var]
         cost = 0
         for c in self.cubes:
-            for v in range(fmt.num_vars):
-                f = fmt.field(c, v)
-                full = (1 << fmt.parts[v]) - 1
-                if f != full:
-                    cost += bin(full & ~f).count("1")
+            inputs = c & ~out_mask
+            # input literals: zeros in the input planes
+            cost += (fmt.universe & ~out_mask & ~inputs).bit_count()
+            # output literals: asserted outputs in the output plane
+            cost += (c & out_mask).bit_count()
         return cost
 
     def cost(self) -> tuple:

@@ -166,9 +166,11 @@ class Format:
 
     def minterm_count(self, cube: int) -> int:
         """Number of minterms in the cube (product of field popcounts)."""
+        # popcount is shift-invariant, so masking beats extracting the
+        # field; this is the sort key of expand/reduce/containment
         n = 1
-        for v in range(self.num_vars):
-            n *= bin(self.field(cube, v)).count("1")
+        for m in self.masks:
+            n *= (cube & m).bit_count()
         return n
 
     def full_vars(self, cube: int) -> int:

@@ -8,13 +8,23 @@ Two validity oracles are supported for EXPAND:
 * no off-set — a raise is legal when the grown cube is still an
   implicant of ``on + dc``, decided by a tautology call.  This avoids
   computing a global complement, which can blow up on wide covers.
+
+The iteration accepts a :class:`repro.perf.Budget`: when the budget
+expires mid-loop the best cover found so far is returned (the result is
+always a valid cover of the function — only its quality degrades).
+After the first non-improving pass a LASTGASP retry runs REDUCE with
+the opposite cube ordering before giving up, which recovers the ties
+and near-misses the plain loop used to discard.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
+from repro import perf
 from repro.logic.cover import Cover
+from repro.perf.budget import Budget
 
 
 def _is_implicant(cube: int, on_dc: Cover) -> bool:
@@ -38,6 +48,7 @@ def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
     expansions happen early.
     """
     fmt = on_dc.fmt if off is None else off.fmt
+    stats = perf.STATS
     candidates = [b for b in range(fmt.width) if not (cube >> b) & 1]
     if off is not None:
         # order by how many off-cubes conflict with each single raise
@@ -46,6 +57,9 @@ def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
             return sum(1 for o in off.cubes if fmt.intersects(grown, o))
 
         candidates.sort(key=blocking)
+    if stats is not None:
+        stats.expand_cubes += 1
+        stats.expand_attempts += len(candidates)
     for bit in candidates:
         grown = cube | (1 << bit)
         if off is not None:
@@ -54,6 +68,8 @@ def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
             ok = _is_implicant(grown, on_dc)
         if ok:
             cube = grown
+            if stats is not None:
+                stats.expand_raises += 1
     return cube
 
 
@@ -97,16 +113,21 @@ def irredundant(f: Cover, dc: Optional[Cover] = None) -> Cover:
     return out
 
 
-def reduce_cover(f: Cover, dc: Optional[Cover] = None) -> Cover:
+def reduce_cover(
+    f: Cover, dc: Optional[Cover] = None, largest_first: bool = True
+) -> Cover:
     """Replace each cube by its maximal reduction (SCCC rule).
 
     ``c_new = c  ∩  supercube(complement((F - c + D) cofactored by c))``.
     Cubes are processed in place so later reductions see earlier ones,
     keeping the cover equivalent to the original function at all times.
+    ``largest_first=False`` reverses the processing order — the
+    LASTGASP retry uses it to escape the ordering-dependent local
+    minimum the default order settles into.
     """
     fmt = f.fmt
-    # reduce large cubes first, as espresso does
-    cubes = sorted(f.cubes, key=fmt.minterm_count, reverse=True)
+    # reduce large cubes first, as espresso does (LASTGASP: smallest first)
+    cubes = sorted(f.cubes, key=fmt.minterm_count, reverse=largest_first)
     for i in range(len(cubes)):
         c = cubes[i]
         rest = Cover(fmt)
@@ -128,12 +149,30 @@ def reduce_cover(f: Cover, dc: Optional[Cover] = None) -> Cover:
     return out
 
 
+def _one_pass(
+    best: Cover,
+    dc: Cover,
+    on_dc: Cover,
+    off: Optional[Cover],
+    largest_first: bool = True,
+) -> Cover:
+    """One REDUCE / EXPAND / IRREDUNDANT round, individually timed."""
+    with perf.timer("reduce"):
+        f = reduce_cover(best, dc, largest_first=largest_first)
+    with perf.timer("expand"):
+        f = expand(f, on_dc, off)
+    with perf.timer("irredundant"):
+        f = irredundant(f, dc)
+    return f
+
+
 def espresso(
     on: Cover,
     dc: Optional[Cover] = None,
     off: Optional[Cover] = None,
     max_iter: int = 10,
     effort: str = "full",
+    budget: Optional[Budget] = None,
 ) -> Cover:
     """Heuristically minimize ``on`` against optional ``dc`` / explicit ``off``.
 
@@ -142,31 +181,62 @@ def espresso(
     intersects ``off``.  ``effort='low'`` runs a single
     expand+irredundant pass (used for the very largest benchmark
     machines where the reduce/expand iteration is too slow in pure
-    Python).
+    Python).  A *budget* bounds the iteration: when it expires the best
+    cover found so far is returned immediately.
     """
     fmt = on.fmt
+    stats = perf.STATS
+    t0 = time.perf_counter() if stats is not None else 0.0
     if dc is None:
         dc = Cover(fmt)
     on_dc = on + dc
     f = on.single_cube_containment()
-    f = expand(f, on_dc, off)
-    f = irredundant(f, dc)
+    with perf.timer("expand"):
+        f = expand(f, on_dc, off)
+    with perf.timer("irredundant"):
+        f = irredundant(f, dc)
     if effort == "low":
+        if stats is not None:
+            stats.add_time("espresso", time.perf_counter() - t0)
         return f
     best = f
     best_cost = f.cost()
     for _ in range(max_iter):
-        f = reduce_cover(best, dc)
-        f = expand(f, on_dc, off)
-        f = irredundant(f, dc)
+        if budget is not None and budget.expired():
+            break
+        f = _one_pass(best, dc, on_dc, off)
+        if stats is not None:
+            stats.espresso_passes += 1
         cost = f.cost()
         if cost < best_cost:
             best, best_cost = f, cost
-        else:
+            continue
+        if cost == best_cost:
+            # a tie is as good as the incumbent and is the fixpoint the
+            # next pass would start from — keep it instead of discarding
+            best = f
+        if budget is not None and budget.expired():
             break
+        # LASTGASP: one retry with the reversed reduce ordering before
+        # giving up; accept only a strict improvement
+        if stats is not None:
+            stats.lastgasp_attempts += 1
+        g = _one_pass(best, dc, on_dc, off, largest_first=False)
+        if stats is not None:
+            stats.espresso_passes += 1
+        g_cost = g.cost()
+        if g_cost < best_cost:
+            if stats is not None:
+                stats.lastgasp_wins += 1
+            best, best_cost = g, g_cost
+            continue
+        break
+    if stats is not None:
+        stats.add_time("espresso", time.perf_counter() - t0)
     return best
 
 
-def minimize(on: Cover, dc: Cover, off: Cover, effort: str = "full") -> Cover:
+def minimize(on: Cover, dc: Cover, off: Cover, effort: str = "full",
+             budget: Optional[Budget] = None) -> Cover:
     """NOVA-style ``minimize(on, dc, off)`` with an explicit off-set."""
-    return espresso(on, dc=dc, off=off, effort=effort)
+    return espresso(on, dc=dc, off=off, effort=effort, budget=budget)

@@ -1,46 +1,127 @@
 """Unate-recursive paradigm: tautology and complement of MV covers.
 
 Both procedures follow the classic ESPRESSO scheme: fast special cases,
-then Shannon expansion on the *most binate* variable, recursing on the
-cofactor against each part of that variable.  Because the parts of a
-variable partition its value set, the per-part recursion is exact for
-multiple-valued variables as well as binary ones.
+unate reductions, then Shannon expansion on the *most binate* variable,
+recursing on the cofactor against each part of that variable.  Because
+the parts of a variable partition its value set, the per-part recursion
+is exact for multiple-valued variables as well as binary ones.
+
+Two reductions avoid Shannon splits altogether (set
+:data:`UNATE_REDUCTION` to ``False`` to measure their effect, see
+``benchmarks/bench_substrate.py``):
+
+* **tautology** — if some value ``j`` of a variable appears only in
+  cubes that are *full* in that variable, the cofactor against
+  ``x=j`` is the weakest branch: the cover is a tautology iff that
+  single cofactor is.  For a binary unate variable this is the
+  textbook rule "cofactor against the missing phase"; a fully unate
+  cover resolves with no splits at all (it is a tautology iff it
+  contains the universe cube).
+* **complement** — values of a variable contained in *no* cube
+  complement wholesale (the slab is entirely outside the cover), and
+  the rest of the complement is computed with those values raised,
+  which makes the variable full (or unate) for the recursion below.
+
+Perf counters (:mod:`repro.perf`) meter calls, recursion count, depth
+and avoided splits; they cost one attribute load when disabled.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import perf
 from repro.logic.cover import Cover
+
+# kill-switch for the unate reductions, used by the substrate benches to
+# measure how many URP recursions the reductions save
+UNATE_REDUCTION = True
 
 
 def _select_split_var(cover: Cover) -> Optional[int]:
-    """Pick the variable appearing non-full in the most cubes.
+    """Pick the most *binate* variable (ESPRESSO's selection rule).
 
-    Returns ``None`` when every cube is full in every variable (which
-    means each cube is the universe — callers handle that earlier).
+    A variable is binate in the cover when it appears with at least two
+    different non-full fields; among binate variables the one non-full
+    in the most cubes is chosen (ties prefer more parts, giving flatter
+    recursion trees).  When no variable is binate — a unate cover — the
+    variable non-full in the most cubes is returned as a fallback so
+    the recursion still makes progress.  Returns ``None`` only when
+    every cube is full in every variable.
     """
     fmt = cover.fmt
     best_var = None
-    best_count = 0
+    best_key = None
+    fallback_var = None
+    fallback_count = 0
     for v, m in enumerate(fmt.masks):
         count = 0
+        first_field = -1
+        binate = False
         for c in cover.cubes:
-            if c & m != m:
+            f = c & m
+            if f != m:
                 count += 1
-        if count > best_count or (
-            count == best_count and best_var is not None
-            and count and fmt.parts[v] > fmt.parts[best_var]
+                if first_field < 0:
+                    first_field = f
+                elif f != first_field:
+                    binate = True
+        if count == 0:
+            continue
+        if count > fallback_count or (
+            count == fallback_count and fallback_var is not None
+            and fmt.parts[v] > fmt.parts[fallback_var]
         ):
-            best_var = v
-            best_count = count
-    if best_count == 0:
-        return None
-    return best_var
+            fallback_var = v
+            fallback_count = count
+        if binate:
+            key = (count, fmt.parts[v])
+            if best_key is None or key > best_key:
+                best_var = v
+                best_key = key
+    if best_var is not None:
+        return best_var
+    return fallback_var
+
+
+def _unate_reduction_cube(cover: Cover) -> Optional[int]:
+    """Cube to cofactor against for the tautology unate reduction.
+
+    For each variable, values appearing only in cubes full in that
+    variable give a weakest branch; all such branches combine into one
+    cofactor (subset relations between branch cube-sets survive the
+    cube-dropping each reduction performs).  Returns ``None`` when no
+    variable reduces.
+    """
+    fmt = cover.fmt
+    universe = fmt.universe
+    lit = universe
+    for m in fmt.masks:
+        union_nonfull = 0
+        for c in cover.cubes:
+            f = c & m
+            if f != m:
+                union_nonfull |= f
+        if union_nonfull and union_nonfull != m:
+            missing = m & ~union_nonfull
+            weakest = missing & -missing  # lowest missing value
+            lit &= (universe & ~m) | weakest
+    return None if lit == universe else lit
 
 
 def tautology(cover: Cover) -> bool:
     """True when the cover covers the whole Boolean/MV space."""
+    stats = perf.STATS
+    if stats is not None:
+        stats.tautology_calls += 1
+    return _tautology_rec(cover, 1, stats)
+
+
+def _tautology_rec(cover: Cover, depth: int, stats) -> bool:
+    if stats is not None:
+        stats.urp_recursions += 1
+        if depth > stats.urp_max_depth:
+            stats.urp_max_depth = depth
     fmt = cover.fmt
     cubes = cover.cubes
     if not cubes:
@@ -57,19 +138,28 @@ def tautology(cover: Cover) -> bool:
         union |= c
     if union != universe:
         return False
+    if UNATE_REDUCTION:
+        lit = _unate_reduction_cube(cover)
+        if lit is not None:
+            if stats is not None:
+                stats.unate_reductions += 1
+            return _tautology_rec(cover.cofactor(lit), depth + 1, stats)
     var = _select_split_var(cover)
     if var is None:
         return False  # non-universe cubes only; unreachable after checks
     for part in range(fmt.parts[var]):
         lit = fmt.literal(var, (part,))
-        if not tautology(cover.cofactor(lit)):
+        if not _tautology_rec(cover.cofactor(lit), depth + 1, stats):
             return False
     return True
 
 
 def complement(cover: Cover) -> Cover:
     """Complement of a cover (disjoint by construction, then compacted)."""
-    result = _complement_rec(cover)
+    stats = perf.STATS
+    if stats is not None:
+        stats.complement_calls += 1
+    result = _complement_rec(cover, 1, stats)
     return result.single_cube_containment()
 
 
@@ -82,7 +172,11 @@ def _complement_single_cube(fmt, cube: int) -> List[int]:
     return out
 
 
-def _complement_rec(cover: Cover) -> Cover:
+def _complement_rec(cover: Cover, depth: int = 1, stats=None) -> Cover:
+    if stats is not None:
+        stats.urp_recursions += 1
+        if depth > stats.urp_max_depth:
+            stats.urp_max_depth = depth
     fmt = cover.fmt
     cubes = cover.cubes
     out = Cover(fmt)
@@ -96,14 +190,39 @@ def _complement_rec(cover: Cover) -> Cover:
     if len(cubes) == 1:
         out.cubes = _complement_single_cube(fmt, cubes[0])
         return out
-    # column check shortcut: uncovered values of a variable complement
-    # directly, which also guarantees progress for the recursion below
+    if UNATE_REDUCTION:
+        # missing-value factoring: values of a variable inside no cube
+        # complement wholesale; raising them in every cube removes the
+        # variable's "holes" without changing the complement inside the
+        # remaining slab, so the recursion sees fuller variables
+        raised = 0
+        restrict = universe
+        for m in fmt.masks:
+            union = 0
+            for c in cubes:
+                union |= c & m
+            if union != m:
+                missing = m & ~union
+                out.cubes.append((universe & ~m) | missing)
+                raised |= missing
+                restrict &= (universe & ~m) | union
+        if raised:
+            if stats is not None:
+                stats.unate_reductions += 1
+            lifted = Cover(fmt)
+            lifted.cubes = [c | raised for c in cubes]
+            sub = _complement_rec(lifted, depth + 1, stats)
+            for c in sub.cubes:
+                r = c & restrict
+                if not fmt.is_empty(r):
+                    out.cubes.append(r)
+            return out
     var = _select_split_var(cover)
     if var is None:
         return out  # all cubes universe; handled above
     for part in range(fmt.parts[var]):
         lit = fmt.literal(var, (part,))
-        sub = _complement_rec(cover.cofactor(lit))
+        sub = _complement_rec(cover.cofactor(lit), depth + 1, stats)
         for c in sub.cubes:
             r = c & lit
             if not fmt.is_empty(r):

@@ -1,0 +1,90 @@
+"""A unified work/deadline budget for the search and minimization loops.
+
+Historically every bounded loop carried its own ad-hoc limit:
+``iexact_code`` had a wall-clock deadline checked only *between* level
+vectors, ``pos_equiv`` had a work counter, and ``espresso`` had no
+bound at all.  :class:`Budget` unifies the three — one object holds an
+optional work cap and an optional deadline, and can spawn children
+that share the deadline while metering their own work (the paper's
+per-call ``max_work`` semantics).
+
+Time is read through ``time.monotonic`` but only every
+:data:`_TIME_CHECK_MASK` + 1 charges, so charging stays cheap inside
+tight backtracking loops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+_TIME_CHECK_MASK = 0xFF  # check the clock every 256 charges
+
+
+class BudgetExceeded(Exception):
+    """Raised by :meth:`Budget.charge` when a limit is crossed."""
+
+
+class Budget:
+    """Work counter plus wall-clock deadline; either may be absent.
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock allowance from now (converted to a deadline).
+    work:
+        Maximum number of :meth:`charge` units.
+    deadline:
+        Absolute ``time.monotonic()`` deadline; overrides *seconds*.
+    """
+
+    __slots__ = ("deadline", "max_work", "work")
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        work: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        if deadline is None and seconds is not None:
+            deadline = time.monotonic() + seconds
+        self.deadline = deadline
+        self.max_work = work
+        self.work = 0
+
+    def sub(self, work: Optional[int] = None) -> "Budget":
+        """A child budget: own work meter, shared absolute deadline."""
+        return Budget(work=work, deadline=self.deadline)
+
+    def charge(self, n: int = 1) -> None:
+        """Consume *n* units; raise :class:`BudgetExceeded` when over.
+
+        The deadline is polled only every few hundred charges, so a
+        charging loop overruns the wall-clock limit by at most one
+        polling interval.
+        """
+        self.work += n
+        if self.max_work is not None and self.work > self.max_work:
+            raise BudgetExceeded(f"work limit {self.max_work} exceeded")
+        if (
+            self.deadline is not None
+            and (self.work & _TIME_CHECK_MASK) == 0
+            and time.monotonic() > self.deadline
+        ):
+            raise BudgetExceeded("deadline exceeded")
+
+    def expired(self) -> bool:
+        """True when either limit has been crossed (always polls time)."""
+        if self.max_work is not None and self.work > self.max_work:
+            return True
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (may be negative); None if unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Budget(work={self.work}/{self.max_work}, "
+                f"remaining={self.remaining_seconds()})")

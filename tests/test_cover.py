@@ -80,10 +80,21 @@ class TestAlgebra:
         assert f.covers(g) and g.covers(f)
 
     def test_literal_cost(self):
+        # input planes charge excluded values, the output plane (last
+        # variable) charges asserted outputs -- espresso convention
         fmt = Format([2, 2])
         f = from_strings(fmt, ["0 -", "- 1"])
-        assert f.literal_cost() == 2
-        assert from_strings(fmt, ["- -"]).literal_cost() == 0
+        assert f.literal_cost() == (1 + 2) + (0 + 1)
+        assert from_strings(fmt, ["- -"]).literal_cost() == 2
+
+    def test_literal_cost_output_plane(self):
+        # a cube asserting 2 of 3 outputs is charged 2 output literals
+        fmt = Format([2, 2, 3])
+        f = Cover(fmt, [fmt.cube_from_fields([1, 3, 0b011])])
+        assert f.literal_cost() == 1 + 0 + 2
+        # asserting a single output costs 1
+        g = Cover(fmt, [fmt.cube_from_fields([1, 3, 0b100])])
+        assert g.literal_cost() == 1 + 0 + 1
 
     def test_cost_ordering(self):
         fmt = Format([2, 2])

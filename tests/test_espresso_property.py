@@ -1,0 +1,135 @@
+"""Randomized espresso-vs-brute-force property tests.
+
+Every test draws a random function over a small format, runs the
+heuristic minimizer, and checks it against the brute-force minterm
+semantics: the result plus don't-cares must cover exactly the on-set
+(no under-cover, no over-cover into the off-set).  Both validity
+oracles get exercised — the tautology-based implicant check (no
+off-set) and the explicit off-set distance check — and the off-set
+variant is built as a true partition of the minterm space so the two
+oracles see the same function.
+
+Seeds are fixed through hypothesis strategies, so failures replay.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.logic.cover import Cover
+from repro.logic.cube import Format
+from repro.logic.espresso import espresso, minimize
+from repro.perf.budget import Budget
+from tests.conftest import cover_minterms, enumerate_minterms, random_cover
+
+FORMATS = [
+    Format([2, 2, 2]),
+    Format([2, 2, 3]),
+    Format([3, 2, 2]),
+]
+
+
+def _random_partition(fmt, rng):
+    """Partition the minterm space into (on, dc, off) covers."""
+    on, dc, off = Cover(fmt), Cover(fmt), Cover(fmt)
+    for m in enumerate_minterms(fmt):
+        bucket = rng.choices((on, dc, off), weights=(4, 1, 3))[0]
+        bucket.append(m)
+    return on, dc, off
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_tautology_oracle_exact(seed):
+    rng = random.Random(seed)
+    fmt = FORMATS[seed % len(FORMATS)]
+    on = random_cover(fmt, rng.randrange(1, 7), rng)
+    dc = random_cover(fmt, rng.randrange(0, 3), rng)
+    result = espresso(on, dc)
+    on_m = cover_minterms(on)
+    dc_m = cover_minterms(dc)
+    res_m = cover_minterms(result)
+    # on-minterms also in dc may legitimately be left to the dc-set
+    assert on_m - dc_m <= res_m, "under-cover: an on-minterm was lost"
+    assert res_m <= on_m | dc_m, "over-cover: a minterm outside on+dc"
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_explicit_off_oracle_exact(seed):
+    rng = random.Random(seed)
+    fmt = FORMATS[seed % len(FORMATS)]
+    on, dc, off = _random_partition(fmt, rng)
+    if not on.cubes:
+        return
+    result = minimize(on, dc, off)
+    on_m = cover_minterms(on)
+    off_m = cover_minterms(off)
+    res_m = cover_minterms(result)
+    assert on_m <= res_m, "under-cover: an on-minterm was lost"
+    assert not (res_m & off_m), "over-cover: result touches the off-set"
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_both_oracles_agree_on_function(seed):
+    """Identical function through either oracle yields a valid cover of
+    the same on-set (cube counts may differ; semantics must not)."""
+    rng = random.Random(seed)
+    fmt = FORMATS[seed % len(FORMATS)]
+    on, dc, off = _random_partition(fmt, rng)
+    if not on.cubes:
+        return
+    with_taut = espresso(on, dc)
+    with_off = espresso(on, dc, off=off)
+    on_m = cover_minterms(on)
+    dc_m = cover_minterms(dc)
+    # the partition is disjoint, so the full on-set must be covered
+    assert on_m <= cover_minterms(with_taut) <= on_m | dc_m
+    assert on_m <= cover_minterms(with_off) <= on_m | dc_m
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_result_never_more_cubes(seed):
+    # literal cost can grow when expansion raises output bits at equal
+    # cube count, but the cube count itself never increases
+    rng = random.Random(seed)
+    fmt = FORMATS[seed % len(FORMATS)]
+    on = random_cover(fmt, rng.randrange(1, 8), rng)
+    result = espresso(on)
+    assert len(result) <= len(on.single_cube_containment())
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_exhausted_budget_still_valid(seed):
+    """An expired budget degrades quality, never correctness."""
+    rng = random.Random(seed)
+    fmt = FORMATS[seed % len(FORMATS)]
+    on = random_cover(fmt, rng.randrange(1, 7), rng)
+    dc = random_cover(fmt, rng.randrange(0, 3), rng)
+    budget = Budget(seconds=0.0)  # already expired
+    result = espresso(on, dc, budget=budget)
+    on_m = cover_minterms(on)
+    dc_m = cover_minterms(dc)
+    res_m = cover_minterms(result)
+    assert on_m - dc_m <= res_m <= on_m | dc_m
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_low_effort_unaffected_by_lastgasp(seed):
+    """effort='low' returns before the iteration, so LASTGASP and the
+    tie-keeping logic must leave it untouched."""
+    rng = random.Random(seed)
+    fmt = FORMATS[seed % len(FORMATS)]
+    on = random_cover(fmt, rng.randrange(1, 6), rng)
+    with perf.collect() as stats:
+        result = espresso(on, effort="low")
+    assert stats.espresso_passes == 0
+    assert stats.lastgasp_attempts == 0
+    on_m = cover_minterms(on)
+    assert cover_minterms(result) == on_m

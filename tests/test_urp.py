@@ -5,6 +5,8 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import perf
+from repro.logic import urp
 from repro.logic.cover import Cover, from_strings
 from repro.logic.cube import Format
 from repro.logic.urp import complement, tautology
@@ -98,3 +100,75 @@ def test_double_complement_identity(seed):
     fmt = Format([2, 2, 2])
     f = random_cover(fmt, rng.randrange(0, 5), rng)
     assert cover_minterms(complement(complement(f))) == cover_minterms(f)
+
+
+class TestSplitVarSelection:
+    def test_binate_beats_more_frequent_unate(self):
+        # var 0 is unate (always the same non-full field, 3 cubes);
+        # var 1 is binate (two different non-full fields, 2 cubes):
+        # ESPRESSO's rule splits on the binate variable
+        fmt = Format([2, 2, 2])
+        f = from_strings(fmt, ["0 0 -", "0 1 -", "0 - 1"])
+        assert urp._select_split_var(f) == 1
+
+    def test_unate_fallback_most_frequent(self):
+        # fully unate cover: fall back to the most frequently non-full
+        fmt = Format([2, 2, 2])
+        f = from_strings(fmt, ["0 - -", "0 0 -", "- 0 1"])
+        assert urp._select_split_var(f) in (0, 1)  # both non-full twice
+        g = from_strings(fmt, ["0 - -", "0 0 -", "0 - 1"])
+        assert urp._select_split_var(g) == 0
+
+    def test_all_full_returns_none(self):
+        fmt = Format([2, 2])
+        f = from_strings(fmt, ["- -"])
+        assert urp._select_split_var(f) is None
+
+    def test_binate_tie_prefers_more_parts(self):
+        # vars 0 and 2 both binate in 2 cubes; var 2 has 3 parts
+        fmt = Format([2, 2, 3])
+        f = Cover(fmt, [
+            fmt.cube_from_fields([0b01, 0b11, 0b011]),
+            fmt.cube_from_fields([0b10, 0b11, 0b101]),
+        ])
+        assert urp._select_split_var(f) == 2
+
+
+class TestUnateReduction:
+    def test_unate_cover_needs_no_splits(self):
+        # a unate non-tautology resolves by repeated weakest-branch
+        # cofactoring: recursion count stays linear in the variables
+        fmt = Format([2, 2, 2])
+        f = from_strings(fmt, ["0 - -", "- 0 -", "- - 0"])
+
+        def recursions(flag):
+            old = urp.UNATE_REDUCTION
+            urp.UNATE_REDUCTION = flag
+            try:
+                with perf.collect() as stats:
+                    assert not tautology(f)
+                return stats.urp_recursions, stats.unate_reductions
+            finally:
+                urp.UNATE_REDUCTION = old
+
+        plain_rec, plain_red = recursions(False)
+        fast_rec, fast_red = recursions(True)
+        assert plain_red == 0
+        assert fast_red >= 1
+        assert fast_rec < plain_rec
+
+    def test_reduction_preserves_results(self):
+        rng = random.Random(99)
+        fmt = Format([2, 3, 2])
+        old = urp.UNATE_REDUCTION
+        try:
+            for _ in range(40):
+                f = random_cover(fmt, rng.randrange(0, 6), rng)
+                urp.UNATE_REDUCTION = True
+                taut_on = tautology(f)
+                comp_on = cover_minterms(complement(f))
+                urp.UNATE_REDUCTION = False
+                assert tautology(f) == taut_on
+                assert cover_minterms(complement(f)) == comp_on
+        finally:
+            urp.UNATE_REDUCTION = old
