@@ -14,17 +14,32 @@ Public API highlights:
 * :mod:`repro.eval` — PLA instantiation, area model, tables harness.
 """
 
-from repro.encoding.nova import ALGORITHMS, NovaResult, encode_fsm
+from repro.encoding.nova import ALGORITHMS, NovaResult, RunReport, encode_fsm
+from repro.errors import (
+    BudgetExhausted,
+    ConstraintError,
+    EncodingInfeasible,
+    ParseError,
+    ReproError,
+    VerificationError,
+)
 from repro.fsm.benchmarks import benchmark, benchmark_names
 from repro.fsm.kiss import parse_kiss, to_kiss
 from repro.fsm.machine import FSM, Transition
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
     "NovaResult",
+    "RunReport",
     "encode_fsm",
+    "ReproError",
+    "ParseError",
+    "ConstraintError",
+    "BudgetExhausted",
+    "EncodingInfeasible",
+    "VerificationError",
     "benchmark",
     "benchmark_names",
     "parse_kiss",

@@ -22,28 +22,41 @@ import sys
 from typing import List, Optional
 
 from repro.encoding.nova import ALGORITHMS, encode_fsm
+from repro.errors import ReproError, exit_code_for
 from repro.eval import tables
 from repro.fsm.benchmarks import benchmark, benchmark_names
 from repro.fsm.kiss import parse_kiss
 
 
-def _cmd_encode(args: argparse.Namespace) -> int:
+def _load_fsm(args: argparse.Namespace):
+    """The machine named by --benchmark or the KISS2 file argument."""
     if args.benchmark:
-        fsm = benchmark(args.benchmark)
-    elif args.file:
+        return benchmark(args.benchmark)
+    if args.file:
         with open(args.file) as f:
-            fsm = parse_kiss(f.read(), name=args.file)
-    else:
+            return parse_kiss(f.read(), name=args.file)
+    return None
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    fsm = _load_fsm(args)
+    if fsm is None:
         print("error: give a KISS2 file or --benchmark NAME", file=sys.stderr)
         return 2
     result = encode_fsm(fsm, args.algorithm, nbits=args.bits,
-                        effort=args.effort)
+                        effort=args.effort, timeout=args.timeout,
+                        fallback=not args.no_fallback)
+    report = result.report
+    if report is not None and report.degraded:
+        print(f"degraded: {report.summary()}", file=sys.stderr)
     print(f"machine    : {fsm!r}")
     print(f"algorithm  : {result.algorithm}")
     print(f"code length: {result.bits} bits")
     print(f"cubes      : {result.cubes}")
     print(f"area       : {result.area}")
     print(f"time       : {result.seconds:.2f}s")
+    if report is not None and report.verified is not None:
+        print(f"verified   : {report.verified}")
     print("state codes:")
     for i, state in enumerate(fsm.states):
         print(f"  {state:12s} {result.state_encoding.as_bits(i)}")
@@ -192,6 +205,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     enc.add_argument("--algorithm", default="ihybrid", choices=ALGORITHMS)
     enc.add_argument("--bits", type=int, default=None)
     enc.add_argument("--effort", default="full", choices=("full", "low"))
+    enc.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="wall-clock budget for the whole run; on "
+                          "exhaustion the pipeline degrades along the "
+                          "fallback chain instead of overrunning")
+    enc.add_argument("--no-fallback", action="store_true",
+                     help="fail (with a taxonomy exit code) instead of "
+                          "degrading iexact -> ihybrid -> igreedy -> onehot")
     enc.set_defaults(func=_cmd_encode)
 
     tab = sub.add_parser("table", help="regenerate a paper table")
@@ -227,12 +247,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     from repro import perf
 
-    if args.stats or perf.enabled():
-        with perf.collect() as stats:
-            rc = args.func(args)
-        print(stats.summary(), file=sys.stderr)
-        return rc
-    return args.func(args)
+    try:
+        if args.stats or perf.enabled():
+            with perf.collect() as stats:
+                rc = args.func(args)
+            print(stats.summary(), file=sys.stderr)
+            return rc
+        return args.func(args)
+    except ReproError as exc:
+        # one-line diagnostic, distinct exit code per error class:
+        # 3 parse, 4 constraint, 5 budget, 6 infeasible, 7 verification
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.fsm.symbolic_cover import SymbolicCover
 from repro.logic.espresso import espresso
+from repro.testing import faults
 
 
 @dataclass
@@ -82,6 +83,7 @@ def extract_input_constraints(
     a symbolic proper input, the symbol field is collected the same way
     (the paper's starred examples encode inputs too).
     """
+    faults.trip("mv_min", machine=sc.fsm.name)
     off = sc.off if len(sc.off) else None
     minimized = espresso(sc.on, sc.dc, off=off, effort=effort)
     fsm = sc.fsm

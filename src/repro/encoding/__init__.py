@@ -8,7 +8,15 @@ from repro.encoding.igreedy import igreedy_code
 from repro.encoding.iohybrid import iohybrid_code, iovariant_code
 from repro.encoding.out_encoder import out_encoder
 from repro.encoding.onehot import onehot_code, random_code
-from repro.encoding.nova import NovaResult, encode_fsm, ALGORITHMS
+from repro.encoding.nova import (
+    ALGORITHMS,
+    FALLBACK_CHAIN,
+    FallbackEvent,
+    NovaResult,
+    RunReport,
+    encode_fsm,
+    fallback_chain,
+)
 from repro.encoding.verify import VerificationReport, verify_encoded_machine
 
 __all__ = [
@@ -26,8 +34,12 @@ __all__ = [
     "onehot_code",
     "random_code",
     "NovaResult",
+    "RunReport",
+    "FallbackEvent",
     "encode_fsm",
+    "fallback_chain",
     "ALGORITHMS",
+    "FALLBACK_CHAIN",
     "VerificationReport",
     "verify_encoded_machine",
 ]

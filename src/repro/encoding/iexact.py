@@ -347,8 +347,10 @@ class _PosEquiv:
             if self._search(None):
                 return dict(self.enc)
             return None
-        except BudgetExceeded:
-            return None
+        except BudgetExceeded as exc:
+            if exc.limit == "time":
+                raise  # the whole run is out of time, not just this call
+            return None  # per-call work cap: bounded-search rejection
         finally:
             stats = perf.STATS
             if stats is not None:
@@ -427,25 +429,33 @@ def iexact_code(
     max_work: Optional[int] = 30_000,
     max_vectors: int = 64,
     time_budget: Optional[float] = 30.0,
+    budget: Optional[Budget] = None,
 ) -> Optional[Encoding]:
     """Minimum-length encoding satisfying *all* input constraints.
 
     Exact in spirit and on the benchmark sizes it is meant for; the
-    ``max_work`` / ``max_vectors`` / ``time_budget`` budgets make the
-    worst cases give up (returning None) exactly as the paper reports
-    for scf and tbk.  The wall-clock deadline is shared with every
-    ``pos_equiv`` call through one :class:`~repro.perf.Budget`, so a
-    single runaway vector can no longer overshoot the time budget.
+    ``max_work`` / ``max_vectors`` caps make the worst cases give up
+    (returning None) exactly as the paper reports for scf and tbk.
+    Running out of *wall-clock* allowance is different from an
+    exhausted search: it raises
+    :class:`~repro.errors.BudgetExhausted` so callers can distinguish
+    "infeasible under the caps" from "ran out of time".  The deadline —
+    ``time_budget`` from now, clipped to the caller's *budget* when one
+    is given — is shared with every ``pos_equiv`` call through one
+    :class:`~repro.perf.Budget`, so a single runaway vector can no
+    longer overshoot it.
     """
-    budget = Budget(seconds=time_budget)
+    own = Budget(seconds=time_budget, stage="iexact")
+    if budget is not None and budget.deadline is not None:
+        if own.deadline is None or budget.deadline < own.deadline:
+            own.deadline = budget.deadline
     ig = InputGraph(cs.n, cs.masks())
     upper = cs.n if max_k is None else max_k
     primaries = [p for p in ig.primaries() if p & (p - 1)]  # non-singletons
     for k in range(mincube_dim(ig), upper + 1):
         for dimvect in _level_vectors(primaries, ig, k, max_vectors):
-            if budget.expired():
-                return None
-            enc = pos_equiv(ig, k, dimvect, max_work, budget=budget)
+            own.check_time()
+            enc = pos_equiv(ig, k, dimvect, max_work, budget=own)
             if enc is not None:
                 return enc
     return None

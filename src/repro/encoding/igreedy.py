@@ -17,6 +17,7 @@ from repro.constraints.input_constraints import ConstraintSet
 from repro.constraints.poset import closure_intersection
 from repro.encoding.base import Encoding
 from repro.fsm.machine import minimum_code_length
+from repro.perf.budget import Budget
 
 
 def _try_place(
@@ -24,6 +25,7 @@ def _try_place(
     n: int,
     k: int,
     codes: Dict[int, int],
+    budget: Optional[Budget] = None,
 ) -> Optional[Dict[int, int]]:
     """Try to host constraint *mask* in some face, extending *codes*.
 
@@ -38,6 +40,8 @@ def _try_place(
     level = min_level(len(members))
     for lvl in range(level, k):
         for face in faces_of_level(k, lvl):
+            if budget is not None:
+                budget.charge()
             if any(not face.contains_code(codes[s]) for s in coded):
                 continue
             conflict = False
@@ -56,8 +60,13 @@ def _try_place(
     return None
 
 
-def igreedy_code(cs: ConstraintSet, nbits: Optional[int] = None) -> Encoding:
-    """Greedy bottom-up encoding; always returns a complete encoding."""
+def igreedy_code(cs: ConstraintSet, nbits: Optional[int] = None,
+                 budget: Optional[Budget] = None) -> Encoding:
+    """Greedy bottom-up encoding; always returns a complete encoding.
+
+    A *budget* bounds the (deterministic, backtrack-free) face sweep;
+    exhaustion raises :class:`~repro.errors.BudgetExhausted`.
+    """
     n = cs.n
     min_bits = minimum_code_length(n)
     k = min_bits if nbits is None else max(nbits, min_bits)
@@ -71,7 +80,7 @@ def igreedy_code(cs: ConstraintSet, nbits: Optional[int] = None) -> Encoding:
 
     codes: Dict[int, int] = {}
     for mask in targets:
-        placement = _try_place(mask, n, k, codes)
+        placement = _try_place(mask, n, k, codes, budget)
         if placement is not None:
             codes.update(placement)
     # place leftover states on free codes

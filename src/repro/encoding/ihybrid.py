@@ -10,6 +10,8 @@ from repro.constraints.input_constraints import ConstraintSet
 from repro.encoding.base import Encoding, counting_sequence_code
 from repro.encoding.iexact import semiexact_code
 from repro.encoding.project import satisfy_all
+from repro.errors import EncodingInfeasible
+from repro.perf.budget import Budget
 from repro.fsm.machine import minimum_code_length
 
 
@@ -29,6 +31,7 @@ def ihybrid_code(
     nbits: Optional[int] = None,
     max_work: int = 20_000,
     stats: Optional[HybridStats] = None,
+    budget: Optional[Budget] = None,
 ) -> Encoding:
     """Maximize satisfied constraint weight within *nbits* (§IV pseudocode).
 
@@ -37,19 +40,26 @@ def ihybrid_code(
     RIC.  If encoding space remains (``nbits`` above the minimum),
     ``project_code`` grows the cube one dimension at a time, each
     guaranteed to satisfy at least one more RIC constraint.
+
+    A *budget* (wall-clock) is shared with every bounded search call;
+    its exhaustion raises :class:`~repro.errors.BudgetExhausted` —
+    per-call work caps, by contrast, just reject the constraint being
+    offered, which is the algorithm working as designed.
     """
     n = cs.n
     min_bits = minimum_code_length(n)
     if nbits is None:
         nbits = min_bits
     if nbits < min_bits:
-        raise ValueError(f"{nbits} bits cannot encode {n} states")
+        raise EncodingInfeasible(f"{nbits} bits cannot encode {n} states",
+                                 stage="encode")
 
     sic: List[int] = []
     ric: List[int] = []
     enc: Optional[Encoding] = None
     for mask, _w in cs.by_weight():
-        attempt = semiexact_code(sic + [mask], n, min_bits, max_work=max_work)
+        attempt = semiexact_code(sic + [mask], n, min_bits,
+                                 max_work=max_work, budget=budget)
         if attempt is not None:
             enc = attempt
             sic.append(mask)
@@ -60,7 +70,8 @@ def ihybrid_code(
     # over RIC recovers some of what the greedy order lost
     retry = list(ric)
     for mask in retry:
-        attempt = semiexact_code(sic + [mask], n, min_bits, max_work=max_work)
+        attempt = semiexact_code(sic + [mask], n, min_bits,
+                                 max_work=max_work, budget=budget)
         if attempt is not None:
             enc = attempt
             sic.append(mask)

@@ -5,17 +5,30 @@ multiple-valued (or symbolic) minimization, constraint extraction, the
 selected encoding algorithm for the states — and for the symbolic
 proper input, when the machine has one — followed by re-minimization of
 the encoded cover and the PLA area measurement.
+
+The driver is fault-tolerant: NOVA's contract is that it *always*
+returns a valid, evaluated encoding.  When the selected algorithm
+fails — an exhausted budget, an infeasible exact search, a verification
+mismatch — the driver walks the degradation chain
+``iexact → ihybrid → igreedy → onehot`` (weaker but always-terminating
+algorithms), and as a last resort builds a one-hot encoding straight
+from the machine, skipping every optional stage.  Every run carries a
+:class:`RunReport` on the returned :class:`NovaResult` describing stage
+timings, fallbacks taken, and whether the post-encode verification
+gate confirmed the result.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
-from typing import Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.constraints.input_constraints import (
     ConstraintSet,
+    ExtractionResult,
     extract_input_constraints,
 )
 from repro.encoding.base import Encoding, satisfied_weight
@@ -24,11 +37,18 @@ from repro.encoding.igreedy import igreedy_code
 from repro.encoding.ihybrid import HybridStats, ihybrid_code
 from repro.encoding.iohybrid import IoStats, iohybrid_code, iovariant_code
 from repro.encoding.onehot import onehot_code, random_code
+from repro.errors import (
+    EncodingInfeasible,
+    ReproError,
+    VerificationError,
+)
 from repro.eval.area import pla_area
 from repro.eval.instantiate import EncodedPLA, evaluate_encoding
 from repro.fsm.machine import FSM
 from repro.fsm.symbolic_cover import build_symbolic_cover
+from repro.perf.budget import Budget, BudgetExhausted
 from repro.symbolic.symbolic_min import symbolic_minimize
+from repro.testing import faults
 
 ALGORITHMS = (
     "iexact",
@@ -41,6 +61,89 @@ ALGORITHMS = (
     "random",
     "mustang",
 )
+
+#: Degradation order: each algorithm is strictly cheaper and more
+#: robust than its predecessor; ``onehot`` cannot fail.
+FALLBACK_CHAIN = ("iexact", "ihybrid", "igreedy", "onehot")
+
+
+@dataclass
+class FallbackEvent:
+    """One failed attempt: which algorithm died, where, and why."""
+
+    algorithm: str
+    error: str  # exception class name
+    reason: str  # rendered message, including stage/budget context
+    stage: Optional[str] = None
+
+
+@dataclass
+class RunReport:
+    """Degradation diary of one :func:`encode_fsm` run.
+
+    Fields
+    ------
+    machine / requested_algorithm / algorithm:
+        What was asked for and what actually produced the result.
+    degraded:
+        True when the result came from a fallback algorithm, from an
+        unminimized cover, or failed the verification gate.
+    degradation_reason:
+        One-line human summary of the first failure that forced
+        degradation; ``None`` on a clean run.
+    fallbacks:
+        Every failed attempt, in order, as :class:`FallbackEvent`.
+    stage_seconds:
+        Wall-clock per pipeline stage (``mv_min``, ``encode:<alg>``,
+        ``evaluate``, ``verify``, ...), accumulated across attempts.
+    verified:
+        True when the verification gate confirmed the returned PLA
+        implements the machine; False when verification itself failed
+        in last-resort mode; None when the gate was skipped
+        (``verify=False`` or an unevaluated run).
+    unminimized:
+        True when re-minimization failed and the reported cover/area
+        come from the raw encoded cover.
+    timeout:
+        The wall-clock allowance this run was given, if any.
+    """
+
+    machine: str
+    requested_algorithm: str
+    algorithm: str = ""
+    degraded: bool = False
+    degradation_reason: Optional[str] = None
+    fallbacks: List[FallbackEvent] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    verified: Optional[bool] = None
+    unminimized: bool = False
+    timeout: Optional[float] = None
+
+    def record_failure(self, algorithm: str, exc: ReproError) -> None:
+        self.fallbacks.append(FallbackEvent(
+            algorithm=algorithm,
+            error=type(exc).__name__,
+            reason=str(exc),
+            stage=getattr(exc, "stage", None),
+        ))
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stage_seconds[name] = (self.stage_seconds.get(name, 0.0)
+                                        + time.perf_counter() - t0)
+
+    def summary(self) -> str:
+        """One line: what degraded and why (or a clean confirmation)."""
+        if not self.degraded:
+            return f"{self.machine}: {self.algorithm} ok"
+        path = " -> ".join([e.algorithm for e in self.fallbacks]
+                           + [self.algorithm or "?"])
+        reason = self.degradation_reason or "degraded"
+        return f"{self.machine}: degraded {path} ({reason})"
 
 
 @dataclass
@@ -59,6 +162,7 @@ class NovaResult:
     satisfied_weight: int = 0
     unsatisfied_weight: int = 0
     mv_cover_size: int = 0
+    report: Optional[RunReport] = None
 
     @property
     def bits(self) -> int:
@@ -69,6 +173,17 @@ class NovaResult:
         return b
 
 
+def fallback_chain(algorithm: str) -> Tuple[str, ...]:
+    """The degradation order starting from *algorithm*.
+
+    Algorithms on the chain start at their own position; the rest
+    (iohybrid, kiss, mustang, ...) degrade through ``ihybrid`` onward.
+    """
+    if algorithm in FALLBACK_CHAIN:
+        return FALLBACK_CHAIN[FALLBACK_CHAIN.index(algorithm):]
+    return (algorithm,) + FALLBACK_CHAIN[1:]
+
+
 def _encode_constraints(
     cs: ConstraintSet,
     algorithm: str,
@@ -76,19 +191,21 @@ def _encode_constraints(
     fsm: FSM,
     rng: Optional[random.Random],
     stats: Optional[HybridStats] = None,
+    budget: Optional[Budget] = None,
 ) -> Encoding:
     """Dispatch the chosen input-constraint algorithm on one variable."""
     if algorithm == "iexact":
-        enc = iexact_code(cs)
+        enc = iexact_code(cs, budget=budget)
         if enc is None:
-            raise RuntimeError(
-                f"iexact_code gave up on {fsm.name} (search budget exhausted)"
+            raise EncodingInfeasible(
+                "iexact search exhausted without a face embedding",
+                stage="encode", machine=fsm.name,
             )
         return enc
     if algorithm == "ihybrid":
-        return ihybrid_code(cs, nbits=nbits, stats=stats)
+        return ihybrid_code(cs, nbits=nbits, stats=stats, budget=budget)
     if algorithm == "igreedy":
-        return igreedy_code(cs, nbits=nbits)
+        return igreedy_code(cs, nbits=nbits, budget=budget)
     if algorithm == "kiss":
         from repro.baselines.kiss import kiss_code
 
@@ -100,61 +217,156 @@ def _encode_constraints(
     raise ValueError(f"unknown constraint algorithm {algorithm!r}")
 
 
-def encode_fsm(
-    fsm: FSM,
-    algorithm: str = "ihybrid",
-    nbits: Optional[int] = None,
-    effort: str = "full",
-    rng: Optional[random.Random] = None,
-    evaluate: bool = True,
-    mustang_option: str = "p",
+class _Pipeline:
+    """Shared state of one run: caches the algorithm-independent stages
+    (symbolic cover, MV constraint extraction, symbolic minimization,
+    output-symbol encoding) so fallback attempts don't repeat them."""
+
+    def __init__(self, fsm: FSM, effort: str, report: RunReport,
+                 budget: Optional[Budget], degrade_ok: bool = True) -> None:
+        self.fsm = fsm
+        self.effort = effort
+        self.report = report
+        self.budget = budget
+        self.degrade_ok = degrade_ok
+        self.sc = build_symbolic_cover(fsm)
+        self._extraction: Optional[ExtractionResult] = None
+        self._symbolic = None
+        self._osym: Optional[Encoding] = None
+        self._osym_done = False
+
+    def extraction(self) -> ExtractionResult:
+        if self._extraction is None:
+            with self.report.stage("mv_min"):
+                self._extraction = extract_input_constraints(
+                    self.sc, effort=self.effort)
+            if self.budget is not None:
+                self.budget.check_time()
+        return self._extraction
+
+    def symbolic(self):
+        if self._symbolic is None:
+            with self.report.stage("mv_min"):
+                self._symbolic = symbolic_minimize(self.sc,
+                                                   effort=self.effort)
+        return self._symbolic
+
+    def out_symbol_enc(self) -> Optional[Encoding]:
+        if not self._osym_done:
+            if self.fsm.has_symbolic_output:
+                from repro.encoding.osym import out_symbol_encoding
+
+                with self.report.stage("osym"):
+                    self._osym = out_symbol_encoding(self.sc,
+                                                     effort=self.effort)
+            self._osym_done = True
+        return self._osym
+
+
+def _evaluate(pipe: _Pipeline, enc: Encoding,
+              symbol_enc: Optional[Encoding],
+              out_symbol_enc: Optional[Encoding]) -> EncodedPLA:
+    """Re-minimize and measure; degrade to the raw cover on failure."""
+    fsm, report = pipe.fsm, pipe.report
+    with report.stage("evaluate"):
+        try:
+            return evaluate_encoding(fsm, enc, symbol_enc, out_symbol_enc,
+                                     effort=pipe.effort, budget=pipe.budget)
+        except BudgetExhausted as exc:
+            if not pipe.degrade_ok:
+                raise
+            # the encoding is fine — only its re-minimization died; the
+            # raw encoded cover is a valid (just larger) implementation
+            report.unminimized = True
+            report.degraded = True
+            if report.degradation_reason is None:
+                report.degradation_reason = (
+                    f"re-minimization failed ({exc}); "
+                    f"reporting the unminimized cover")
+            return evaluate_encoding(fsm, enc, symbol_enc, out_symbol_enc,
+                                     effort=pipe.effort, minimize=False)
+
+
+def _verify_gate(pipe: _Pipeline, algorithm: str, enc: Encoding,
+                 symbol_enc: Optional[Encoding],
+                 out_symbol_enc: Optional[Encoding],
+                 pla: EncodedPLA) -> None:
+    """Check the encoded PLA against FSM simulation; raise on mismatch."""
+    from repro.encoding.verify import verify_encoded_machine
+
+    fsm, report = pipe.fsm, pipe.report
+    with report.stage("verify"):
+        faults.trip("verify", machine=fsm.name, algorithm=algorithm)
+        vr = verify_encoded_machine(fsm, enc, pla, symbol_enc,
+                                    out_symbol_enc)
+    if not vr.ok:
+        raise VerificationError(
+            f"encoded PLA does not implement {fsm.name} "
+            f"({len(vr.mismatches)} mismatches; first: {vr.mismatches[0]})",
+            stage="verify", machine=fsm.name,
+            mismatches=vr.mismatches[:5],
+        )
+    report.verified = True
+
+
+def _attempt(
+    pipe: _Pipeline,
+    algorithm: str,
+    nbits: Optional[int],
+    rng: Optional[random.Random],
+    evaluate: bool,
+    mustang_option: str,
+    verify: bool,
 ) -> NovaResult:
-    """Run the full NOVA pipeline on *fsm* with the chosen algorithm."""
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; "
-                         f"choose from {ALGORITHMS}")
-    t0 = time.perf_counter()
-    sc = build_symbolic_cover(fsm)
+    """One full pipeline pass with *algorithm*; raises ReproError on
+    any stage failure (the driver decides whether to fall back)."""
+    fsm, report, budget = pipe.fsm, pipe.report, pipe.budget
+    faults.trip("encode", machine=fsm.name, algorithm=algorithm)
+    if budget is not None:
+        budget.check_time()
     hstats = HybridStats()
     iostats = IoStats()
     symbol_enc: Optional[Encoding] = None
-    out_symbol_enc: Optional[Encoding] = None
     mv_size = 0
-    if fsm.has_symbolic_output:
-        from repro.encoding.osym import out_symbol_encoding
+    out_symbol_enc = pipe.out_symbol_enc()
 
-        out_symbol_enc = out_symbol_encoding(sc, effort=effort)
+    with report.stage(f"encode:{algorithm}"):
+        if algorithm == "mustang":
+            from repro.baselines.mustang import mustang_code
 
-    if algorithm == "mustang":
-        from repro.baselines.mustang import mustang_code
-
-        enc = mustang_code(fsm, option=mustang_option, nbits=nbits)
-        if fsm.has_symbolic_input:
-            extraction = extract_input_constraints(sc, effort=effort)
-            symbol_enc = ihybrid_code(extraction.symbol_constraints)
+            enc = mustang_code(fsm, option=mustang_option, nbits=nbits)
+            if fsm.has_symbolic_input:
+                extraction = pipe.extraction()
+                symbol_enc = ihybrid_code(extraction.symbol_constraints,
+                                          budget=budget)
+                mv_size = extraction.minimized_cover_size
+            sat = unsat = 0
+        elif algorithm in ("iohybrid", "iovariant"):
+            sym = pipe.symbolic()
+            cs = sym.input_constraints
+            coder = iohybrid_code if algorithm == "iohybrid" else iovariant_code
+            enc = coder(cs, sym.output_constraints, nbits=nbits,
+                        stats=iostats)
+            if fsm.has_symbolic_input:
+                symbol_enc = ihybrid_code(sym.symbol_constraints,
+                                          budget=budget)
+            mv_size = sym.final_cover_size
+            sat = sum(cs.weights.get(m, 0) for m in iostats.satisfied_ic)
+            unsat = sum(cs.weights.get(m, 0) for m in iostats.rejected_ic)
+        else:
+            extraction = pipe.extraction()
+            cs = extraction.state_constraints
             mv_size = extraction.minimized_cover_size
-        sat = unsat = 0
-    elif algorithm in ("iohybrid", "iovariant"):
-        sym = symbolic_minimize(sc, effort=effort)
-        cs = sym.input_constraints
-        coder = iohybrid_code if algorithm == "iohybrid" else iovariant_code
-        enc = coder(cs, sym.output_constraints, nbits=nbits, stats=iostats)
-        if fsm.has_symbolic_input:
-            symbol_enc = ihybrid_code(sym.symbol_constraints)
-        mv_size = sym.final_cover_size
-        sat = sum(cs.weights.get(m, 0) for m in iostats.satisfied_ic)
-        unsat = sum(cs.weights.get(m, 0) for m in iostats.rejected_ic)
-    else:
-        extraction = extract_input_constraints(sc, effort=effort)
-        cs = extraction.state_constraints
-        mv_size = extraction.minimized_cover_size
-        enc = _encode_constraints(cs, algorithm, nbits, fsm, rng, hstats)
-        if fsm.has_symbolic_input:
-            symbol_enc = _encode_constraints(
-                extraction.symbol_constraints, algorithm, None, fsm, rng
-            )
-        sat = satisfied_weight(enc, cs)
-        unsat = cs.total_weight() - sat
+            enc = _encode_constraints(cs, algorithm, nbits, fsm, rng,
+                                      hstats, budget)
+            if fsm.has_symbolic_input:
+                symbol_enc = _encode_constraints(
+                    extraction.symbol_constraints, algorithm, None, fsm,
+                    rng, budget=budget)
+            sat = satisfied_weight(enc, cs)
+            unsat = cs.total_weight() - sat
+    if budget is not None:
+        budget.check_time()
 
     pla: Optional[EncodedPLA] = None
     if algorithm == "onehot" and not evaluate:
@@ -164,10 +376,12 @@ def encode_fsm(
                         fsm.num_outputs + len(fsm.symbolic_output_values),
                         cubes)
     elif evaluate:
-        pla = evaluate_encoding(fsm, enc, symbol_enc, out_symbol_enc,
-                                effort=effort)
+        pla = _evaluate(pipe, enc, symbol_enc, out_symbol_enc)
         cubes = pla.num_cubes
         area = pla.area
+        if verify:
+            _verify_gate(pipe, algorithm, enc, symbol_enc, out_symbol_enc,
+                         pla)
     else:
         cubes = 0
         area = 0
@@ -180,8 +394,107 @@ def encode_fsm(
         pla=pla,
         cubes=cubes,
         area=area,
-        seconds=time.perf_counter() - t0,
+        seconds=0.0,  # patched by the driver with the total run time
         satisfied_weight=sat,
         unsatisfied_weight=unsat,
         mv_cover_size=mv_size,
+        report=report,
     )
+
+
+def _last_resort(pipe: _Pipeline, evaluate: bool, verify: bool) -> NovaResult:
+    """Unconditional one-hot encoding built straight from the machine.
+
+    Skips constraint extraction entirely (it may be the failing stage)
+    and tolerates even a failing verification gate: this path must
+    never raise.
+    """
+    fsm, report = pipe.fsm, pipe.report
+    enc = onehot_code(fsm.num_states)
+    symbol_enc = (onehot_code(len(fsm.symbolic_input_values))
+                  if fsm.has_symbolic_input else None)
+    out_symbol_enc = (onehot_code(len(fsm.symbolic_output_values))
+                      if fsm.has_symbolic_output else None)
+    pla: Optional[EncodedPLA] = None
+    cubes = area = 0
+    if evaluate:
+        pla = _evaluate(pipe, enc, symbol_enc, out_symbol_enc)
+        cubes = pla.num_cubes
+        area = pla.area
+        if verify:
+            try:
+                _verify_gate(pipe, "onehot", enc, symbol_enc,
+                             out_symbol_enc, pla)
+            except ReproError as exc:
+                report.verified = False
+                report.record_failure("onehot", exc)
+    return NovaResult(
+        fsm=fsm,
+        algorithm="onehot",
+        state_encoding=enc,
+        symbol_encoding=symbol_enc,
+        out_symbol_encoding=out_symbol_enc,
+        pla=pla,
+        cubes=cubes,
+        area=area,
+        seconds=0.0,
+        report=report,
+    )
+
+
+def encode_fsm(
+    fsm: FSM,
+    algorithm: str = "ihybrid",
+    nbits: Optional[int] = None,
+    effort: str = "full",
+    rng: Optional[random.Random] = None,
+    evaluate: bool = True,
+    mustang_option: str = "p",
+    timeout: Optional[float] = None,
+    fallback: bool = True,
+    verify: bool = True,
+) -> NovaResult:
+    """Run the full NOVA pipeline on *fsm* with the chosen algorithm.
+
+    Parameters beyond the paper's: *timeout* bounds the whole run with
+    one wall-clock :class:`Budget` shared by every stage; *fallback*
+    enables the degradation chain (on False, the first failure raises
+    its :class:`~repro.errors.ReproError`); *verify* runs the
+    post-encode verification gate, whose mismatch triggers fallback
+    instead of silently reporting a wrong area.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; "
+                         f"choose from {ALGORITHMS}")
+    t0 = time.perf_counter()
+    report = RunReport(machine=fsm.name, requested_algorithm=algorithm,
+                       timeout=timeout)
+    budget = (Budget(seconds=timeout, stage=algorithm)
+              if timeout is not None else None)
+    pipe = _Pipeline(fsm, effort, report, budget, degrade_ok=fallback)
+    chain = fallback_chain(algorithm) if fallback else (algorithm,)
+    result: Optional[NovaResult] = None
+    last_exc: Optional[ReproError] = None
+    for alg in chain:
+        try:
+            result = _attempt(pipe, alg, nbits, rng, evaluate,
+                              mustang_option, verify)
+            break
+        except ReproError as exc:
+            report.record_failure(alg, exc)
+            if last_exc is None:
+                last_exc = exc
+            if not fallback:
+                raise
+    if result is None:
+        # every chain algorithm failed (e.g. the shared extraction
+        # stage is down): build the unconditional one-hot result
+        result = _last_resort(pipe, evaluate, verify)
+    report.algorithm = result.algorithm
+    if report.fallbacks and result.algorithm != algorithm:
+        report.degraded = True
+        if report.degradation_reason is None:
+            first = report.fallbacks[0]
+            report.degradation_reason = f"{first.error}: {first.reason}"
+    result.seconds = time.perf_counter() - t0
+    return result

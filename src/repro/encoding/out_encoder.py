@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from repro.encoding.base import Encoding
+from repro.errors import ConstraintError
 
 
 def out_encoder(n: int, edges: Iterable[Tuple[int, int]]) -> Encoding:
@@ -28,7 +29,7 @@ def out_encoder(n: int, edges: Iterable[Tuple[int, int]]) -> Encoding:
         if temp.get(u) == 2:
             return
         if temp.get(u) == 1:
-            raise ValueError("output covering constraints contain a cycle")
+            raise ConstraintError("output covering constraints contain a cycle")
         temp[u] = 1
         for v in must_cover[u]:
             visit(v)

@@ -18,6 +18,10 @@ from repro.eval.instantiate import EncodedPLA
 from repro.fsm.machine import FSM
 from repro.logic.verify import verify_minimization
 
+# widest binary input space swept exhaustively; beyond this the checker
+# samples concrete vectors from the specified rows instead
+_EXHAUSTIVE_INPUT_BITS = 14
+
 
 @dataclass
 class VerificationReport:
@@ -75,10 +79,23 @@ def verify_encoded_machine(
             raise ValueError("symbolic machine needs its symbol encoding")
         input_space = [("", symbol_enc.as_bits(fsm.symbol_index(v))[::-1], v)
                        for v in fsm.symbolic_input_values]
-    else:
+    elif fsm.num_inputs <= _EXHAUSTIVE_INPUT_BITS:
         input_space = [("".join(bits), "", None)
                        for bits in itertools.product(
                            "01", repeat=fsm.num_inputs)]
+    else:
+        # too wide to sweep exhaustively: check concrete vectors drawn
+        # from the specified rows themselves (each row's input cube
+        # with the don't-cares forced all-0 and all-1)
+        vectors = []
+        seen_v = set()
+        for t in fsm.transitions:
+            for fill in "01":
+                vec = t.inputs.replace("-", fill)
+                if vec not in seen_v:
+                    seen_v.add(vec)
+                    vectors.append(vec)
+        input_space = [(vec, "", None) for vec in vectors]
 
     if fsm.has_symbolic_output and out_symbol_enc is None:
         raise ValueError("machine with symbolic output needs its encoding")

@@ -1,0 +1,153 @@
+"""Structured error taxonomy for the encoding pipeline.
+
+Every failure path of the pipeline raises a :class:`ReproError`
+subclass instead of an ad-hoc ``ValueError``/``RuntimeError``, so the
+driver's fallback chain, the CLI exit-code mapping, and the
+fault-injection harness can all dispatch on *what* failed and *where*.
+Each error carries structured context — the pipeline stage, the machine
+name, and (when a budget was involved) the elapsed work/time against
+its limits — rendered into the message so a bare ``str(exc)`` is
+already a useful one-line diagnostic.
+
+Classes that replace historical ``ValueError`` sites inherit from
+``ValueError`` too, so existing ``except ValueError`` callers keep
+working.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReproError(Exception):
+    """Base class of all structured pipeline errors.
+
+    Parameters beyond *message* are optional context; whatever is
+    provided is appended to the rendered message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        machine: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.machine = machine
+        self.elapsed = elapsed
+
+    def _context_parts(self) -> List[str]:
+        parts = []
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.machine is not None:
+            parts.append(f"machine={self.machine}")
+        if self.elapsed is not None:
+            parts.append(f"elapsed={self.elapsed:.2f}s")
+        return parts
+
+    def __str__(self) -> str:
+        parts = self._context_parts()
+        if not parts:
+            return self.message
+        return f"{self.message} [{', '.join(parts)}]"
+
+
+class ParseError(ReproError, ValueError):
+    """A KISS2 (or PLA) source could not be parsed.
+
+    Carries the 1-based source line number and the offending token when
+    they are known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: Optional[int] = None,
+        token: Optional[str] = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.line = line
+        self.token = token
+
+    def _context_parts(self) -> List[str]:
+        parts = []
+        if self.line is not None:
+            parts.append(f"line {self.line}")
+        if self.token is not None:
+            parts.append(f"token {self.token!r}")
+        return parts + super()._context_parts()
+
+
+class ConstraintError(ReproError, ValueError):
+    """An inconsistent symbolic cover or constraint set was produced."""
+
+
+class BudgetExhausted(ReproError):
+    """A :class:`repro.perf.Budget` limit was crossed.
+
+    ``limit`` says which bound tripped (``"work"`` or ``"time"``);
+    ``work``/``max_work`` are the counters at the moment of exhaustion.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: str = "time",
+        work: Optional[int] = None,
+        max_work: Optional[int] = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.limit = limit
+        self.work = work
+        self.max_work = max_work
+
+    def _context_parts(self) -> List[str]:
+        parts = []
+        if self.work is not None:
+            cap = "∞" if self.max_work is None else str(self.max_work)
+            parts.append(f"work={self.work}/{cap}")
+        return parts + super()._context_parts()
+
+
+class EncodingInfeasible(ReproError, ValueError):
+    """No encoding satisfying the request exists (or was found within
+    the algorithm's own search caps) — e.g. an exhausted ``iexact``
+    dimension sweep, or an ``nbits`` too small for the state count."""
+
+
+class VerificationError(ReproError):
+    """The post-encode verification gate found the encoded PLA does not
+    implement the source machine.  Carries the first few mismatches."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        mismatches: Optional[List[str]] = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.mismatches = list(mismatches or [])
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI's documented nonzero exit codes."""
+    for cls, code in (
+        (ParseError, 3),
+        (ConstraintError, 4),
+        (BudgetExhausted, 5),
+        (EncodingInfeasible, 6),
+        (VerificationError, 7),
+    ):
+        if isinstance(exc, cls):
+            return code
+    return 1

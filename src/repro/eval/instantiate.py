@@ -21,6 +21,8 @@ from repro.logic.cover import Cover
 from repro.logic.cube import Format
 from repro.logic.espresso import espresso
 from repro.logic.urp import complement
+from repro.perf.budget import Budget
+from repro.testing import faults
 
 
 @dataclass
@@ -157,12 +159,23 @@ def evaluate_encoding(
     symbol_enc: Optional[Encoding] = None,
     out_symbol_enc: Optional[Encoding] = None,
     effort: str = "full",
+    minimize: bool = True,
+    budget: Optional[Budget] = None,
 ) -> EncodedPLA:
-    """Encode, re-minimize, and measure the final PLA."""
+    """Encode, re-minimize, and measure the final PLA.
+
+    ``minimize=False`` skips the espresso pass and reports the raw
+    encoded on-cover — a valid (just larger) implementation, used by
+    the driver as the degraded path when re-minimization fails.
+    """
     on, dc, off, input_bits, state_bits, out_bits = instantiate(
         fsm, enc, symbol_enc, out_symbol_enc)
-    minimized = espresso(on, dc=dc, off=off if len(off) else None,
-                         effort=effort)
+    if minimize:
+        faults.trip("minimize", machine=fsm.name)
+        minimized = espresso(on, dc=dc, off=off if len(off) else None,
+                             effort=effort, budget=budget)
+    else:
+        minimized = on.copy()
     return EncodedPLA(
         fsm=fsm,
         state_bits=state_bits,

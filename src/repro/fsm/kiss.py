@@ -4,17 +4,39 @@ Supports the standard directives (``.i .o .p .s .r .e``) plus one
 extension: ``.sym v1 v2 ...`` declares a symbolic input variable with
 the listed values; each transition row then starts with a symbol value
 before the binary input pattern.  Plain KISS2 files round-trip exactly.
+
+Parse failures raise :class:`repro.errors.ParseError` carrying the
+1-based line number and the offending token.  The parser tolerates
+CRLF line endings, trailing whitespace, and a UTF-8 BOM, and rejects
+duplicate or contradictory transition rows (same symbol/input/state
+triple appearing twice) explicitly rather than letting them corrupt
+the symbolic cover downstream.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ParseError
 from repro.fsm.machine import FSM, Transition
+from repro.testing import faults
+
+
+def _directive_int(parts: List[str], lineno: int, line: str) -> int:
+    """The integer argument of a ``.i``/``.o`` directive, validated."""
+    if len(parts) < 2:
+        raise ParseError(f"directive {parts[0]} needs an argument",
+                         line=lineno, token=parts[0])
+    try:
+        return int(parts[1])
+    except ValueError:
+        raise ParseError(f"directive {parts[0]} needs an integer argument",
+                         line=lineno, token=parts[1]) from None
 
 
 def parse_kiss(text: str, name: str = "fsm") -> FSM:
     """Parse KISS2 text into an :class:`FSM`."""
+    faults.trip("parse", machine=name)
     num_inputs: Optional[int] = None
     num_outputs: Optional[int] = None
     reset: Optional[str] = None
@@ -23,13 +45,16 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
     rows: List[Transition] = []
     state_order: List[str] = []
     seen = set()
+    # (symbol, inputs, present) -> (next, outputs, out_symbol, lineno),
+    # for duplicate/contradiction detection
+    row_index: Dict[Tuple, Tuple] = {}
 
     def note_state(s: str) -> None:
         if s != "*" and s not in seen:
             seen.add(s)
             state_order.append(s)
 
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.lstrip("\ufeff").splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -37,10 +62,13 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
             parts = line.split()
             directive = parts[0]
             if directive == ".i":
-                num_inputs = int(parts[1])
+                num_inputs = _directive_int(parts, lineno, line)
             elif directive == ".o":
-                num_outputs = int(parts[1])
+                num_outputs = _directive_int(parts, lineno, line)
             elif directive == ".r":
+                if len(parts) < 2:
+                    raise ParseError("directive .r needs a state name",
+                                     line=lineno, token=directive)
                 reset = parts[1]
             elif directive == ".sym":
                 symbolic = parts[1:]
@@ -50,35 +78,53 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
                                ".end_kiss"):
                 continue  # counts are recomputed; labels ignored
             else:
-                raise ValueError(f"unknown KISS directive {directive!r}")
+                raise ParseError(f"unknown KISS directive {directive!r}",
+                                 line=lineno, token=directive)
             continue
         parts = line.split()
         osym = None
         if symbolic_out:
             if len(parts) < 2:
-                raise ValueError(f"bad KISS row: {line!r}")
+                raise ParseError(f"bad KISS row: {line!r}",
+                                 line=lineno, token=parts[-1])
             osym = parts[-1]
             parts = parts[:-1]
         if symbolic:
             if len(parts) != 5:
-                raise ValueError(f"bad KISS row (expected 5 fields): {line!r}")
+                raise ParseError(
+                    f"bad KISS row (expected 5 fields, got {len(parts)})",
+                    line=lineno, token=line)
             sym, inp, ps, ns, out = parts
         else:
             if len(parts) != 4:
-                raise ValueError(f"bad KISS row (expected 4 fields): {line!r}")
+                raise ParseError(
+                    f"bad KISS row (expected 4 fields, got {len(parts)})",
+                    line=lineno, token=line)
             inp, ps, ns, out = parts
             sym = None
         if num_inputs == 0 and inp == "-":
             inp = ""  # placeholder used for machines with no binary inputs
         if num_outputs == 0 and out == "-":
             out = ""  # machines whose only outputs are symbolic
+        key = (sym, inp, ps)
+        payload = (ns, out, osym)
+        prior = row_index.get(key)
+        if prior is not None:
+            kind = ("duplicate" if prior[:3] == payload
+                    else "contradictory")
+            raise ParseError(
+                f"{kind} transition for "
+                f"{'/'.join(f for f in (sym, inp or '-', ps) if f)} "
+                f"(first declared on line {prior[3]})",
+                line=lineno, token=line)
+        row_index[key] = payload + (lineno,)
         note_state(ps)
         note_state(ns)
         rows.append(Transition(inputs=inp, present=ps, next=ns, outputs=out,
                                symbol=sym, out_symbol=osym))
 
     if num_inputs is None or num_outputs is None:
-        raise ValueError("KISS text missing .i/.o directives")
+        raise ParseError("KISS text missing .i/.o directives")
     if reset is not None and reset in seen:
         # put the reset state first, as NOVA/SIS do
         state_order.remove(reset)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.errors import ConstraintError
 from repro.fsm.machine import FSM
 from repro.logic.cube import Format
 from repro.logic.cover import Cover
@@ -53,7 +54,7 @@ class SymbolicCover:
         if ns == 0:
             return None
         if ns & (ns - 1):
-            raise ValueError("cube asserts more than one next state")
+            raise ConstraintError("cube asserts more than one next state")
         return ns.bit_length() - 1
 
 

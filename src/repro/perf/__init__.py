@@ -32,11 +32,13 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from repro.errors import BudgetExhausted
 from repro.perf.budget import Budget, BudgetExceeded
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
+    "BudgetExhausted",
     "PerfStats",
     "STATS",
     "collect",

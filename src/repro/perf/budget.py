@@ -8,6 +8,14 @@ optional work cap and an optional deadline, and can spawn children
 that share the deadline while metering their own work (the paper's
 per-call ``max_work`` semantics).
 
+Exhaustion raises :class:`repro.errors.BudgetExhausted` (re-exported
+here under its historical name :data:`BudgetExceeded`), carrying the
+budget's stage label and work counters so a caller — or the driver's
+fallback chain — can tell *which* limit tripped where.  Work-cap
+exhaustion is part of the bounded-search algorithms and is normally
+caught at the call site; time exhaustion (``exc.limit == "time"``)
+means the whole run is out of time and should propagate.
+
 Time is read through ``time.monotonic`` but only every
 :data:`_TIME_CHECK_MASK` + 1 charges, so charging stays cheap inside
 tight backtracking loops.
@@ -18,11 +26,12 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.errors import BudgetExhausted
+
+# historical name: Budget.charge used to raise its own BudgetExceeded
+BudgetExceeded = BudgetExhausted
+
 _TIME_CHECK_MASK = 0xFF  # check the clock every 256 charges
-
-
-class BudgetExceeded(Exception):
-    """Raised by :meth:`Budget.charge` when a limit is crossed."""
 
 
 class Budget:
@@ -36,28 +45,54 @@ class Budget:
         Maximum number of :meth:`charge` units.
     deadline:
         Absolute ``time.monotonic()`` deadline; overrides *seconds*.
+    stage:
+        Label naming the pipeline stage this budget meters; attached to
+        the :class:`BudgetExhausted` raised on exhaustion.
     """
 
-    __slots__ = ("deadline", "max_work", "work")
+    __slots__ = ("deadline", "max_work", "work", "stage")
 
     def __init__(
         self,
         seconds: Optional[float] = None,
         work: Optional[int] = None,
         deadline: Optional[float] = None,
+        stage: Optional[str] = None,
     ) -> None:
         if deadline is None and seconds is not None:
             deadline = time.monotonic() + seconds
         self.deadline = deadline
         self.max_work = work
         self.work = 0
+        self.stage = stage
 
-    def sub(self, work: Optional[int] = None) -> "Budget":
+    def sub(self, work: Optional[int] = None,
+            stage: Optional[str] = None) -> "Budget":
         """A child budget: own work meter, shared absolute deadline."""
-        return Budget(work=work, deadline=self.deadline)
+        return Budget(work=work, deadline=self.deadline,
+                      stage=stage or self.stage)
+
+    def child(self, fraction: float, stage: Optional[str] = None) -> "Budget":
+        """A proportional sub-budget: *fraction* of what remains.
+
+        The child gets its own deadline at ``fraction`` of the
+        remaining wall-clock time and its own work cap at ``fraction``
+        of the remaining work, so a pipeline can hand each stage a
+        bounded share of the run's allowance instead of letting the
+        first stage eat everything.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        seconds = None
+        if self.deadline is not None:
+            seconds = max(0.0, self.deadline - time.monotonic()) * fraction
+        work = None
+        if self.max_work is not None:
+            work = max(0, int((self.max_work - self.work) * fraction))
+        return Budget(seconds=seconds, work=work, stage=stage or self.stage)
 
     def charge(self, n: int = 1) -> None:
-        """Consume *n* units; raise :class:`BudgetExceeded` when over.
+        """Consume *n* units; raise :class:`BudgetExhausted` when over.
 
         The deadline is polled only every few hundred charges, so a
         charging loop overruns the wall-clock limit by at most one
@@ -65,13 +100,34 @@ class Budget:
         """
         self.work += n
         if self.max_work is not None and self.work > self.max_work:
-            raise BudgetExceeded(f"work limit {self.max_work} exceeded")
+            raise BudgetExhausted(
+                f"work limit {self.max_work} exceeded",
+                limit="work", work=self.work, max_work=self.max_work,
+                stage=self.stage,
+            )
         if (
             self.deadline is not None
             and (self.work & _TIME_CHECK_MASK) == 0
             and time.monotonic() > self.deadline
         ):
-            raise BudgetExceeded("deadline exceeded")
+            raise BudgetExhausted(
+                "deadline exceeded",
+                limit="time", work=self.work, max_work=self.max_work,
+                stage=self.stage,
+            )
+
+    def check_time(self) -> None:
+        """Raise :class:`BudgetExhausted` if the deadline has passed.
+
+        Unlike :meth:`charge` this always polls the clock; use it at
+        stage boundaries where one check per call is the right rate.
+        """
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExhausted(
+                "deadline exceeded",
+                limit="time", work=self.work, max_work=self.max_work,
+                stage=self.stage,
+            )
 
     def expired(self) -> bool:
         """True when either limit has been crossed (always polls time)."""
@@ -87,4 +143,5 @@ class Budget:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Budget(work={self.work}/{self.max_work}, "
-                f"remaining={self.remaining_seconds()})")
+                f"remaining={self.remaining_seconds()}, "
+                f"stage={self.stage!r})")

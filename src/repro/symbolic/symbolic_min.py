@@ -33,6 +33,7 @@ from repro.constraints.output_constraints import OutputCluster, OutputConstraint
 from repro.fsm.symbolic_cover import SymbolicCover
 from repro.logic.cover import Cover
 from repro.logic.espresso import espresso, irredundant
+from repro.testing import faults
 
 
 @dataclass
@@ -62,6 +63,7 @@ def _has_path(adj: Dict[int, Set[int]], src: int, dst: int) -> bool:
 
 def symbolic_minimize(sc: SymbolicCover, effort: str = "full") -> SymbolicMinResult:
     """Run the §6.1 loop and extract clustered input/output constraints."""
+    faults.trip("mv_min", machine=sc.fsm.name)
     fsm = sc.fsm
     fmt = sc.fmt
     n = fsm.num_states

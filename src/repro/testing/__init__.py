@@ -1,0 +1,5 @@
+"""Test-support utilities: deterministic fault injection for the pipeline."""
+
+from repro.testing.faults import Fault, FaultPlan, inject, trip
+
+__all__ = ["Fault", "FaultPlan", "inject", "trip"]

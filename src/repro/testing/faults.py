@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the encoding pipeline.
+
+The pipeline calls :func:`trip` at every stage boundary — parsing, MV
+minimization, each encoding attempt, the evaluation re-minimization,
+and the verification gate.  When no plan is active (the production
+case) a trip is one module-global load plus an ``is None`` test; under
+:func:`inject` a matching :class:`Fault` raises its exception at the
+site, exactly as a real failure there would, so tests can prove the
+fallback chain recovers from every stage without relying on timing or
+randomness.
+
+Usage::
+
+    from repro.errors import BudgetExhausted
+    from repro.testing import faults
+
+    with faults.inject(faults.Fault("encode", BudgetExhausted,
+                                    match={"algorithm": "iexact"})):
+        result = encode_fsm(fsm, "iexact")   # iexact dies, ihybrid runs
+
+Faults fire on every matching trip by default; ``times=N`` arms a fault
+for the first *N* matching trips only, which models transient failures
+(e.g. a verification gate that fails once and passes on the fallback).
+The plan records every firing in ``plan.fired`` for assertions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
+
+from repro.errors import ReproError
+
+#: Stage names with a trip site in the pipeline, in pipeline order.
+STAGES = ("parse", "mv_min", "encode", "minimize", "verify")
+
+
+@dataclass
+class Fault:
+    """One planned failure: raise *exc* when *stage* trips.
+
+    ``match`` restricts firing to trips whose context carries equal
+    values for every key (e.g. ``{"algorithm": "ihybrid"}``); keys the
+    trip site does not report never match.  ``times`` bounds how often
+    the fault fires (``None`` = every matching trip).
+    """
+
+    stage: str
+    exc: Union[Type[BaseException], BaseException] = None  # type: ignore[assignment]
+    match: Dict[str, str] = field(default_factory=dict)
+    times: Optional[int] = None
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(f"unknown fault stage {self.stage!r}; "
+                             f"choose from {STAGES}")
+        if self.exc is None:
+            from repro.errors import BudgetExhausted
+
+            self.exc = BudgetExhausted
+
+    def matches(self, stage: str, context: Dict[str, str]) -> bool:
+        if stage != self.stage:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        return all(context.get(k) == v for k, v in self.match.items())
+
+    def build(self, stage: str, context: Dict[str, str]) -> BaseException:
+        if isinstance(self.exc, BaseException):
+            return self.exc
+        message = f"injected fault at stage {stage!r}"
+        if issubclass(self.exc, ReproError):
+            return self.exc(message, stage=stage,
+                            machine=context.get("machine"))
+        return self.exc(message)
+
+
+@dataclass
+class FaultPlan:
+    """The set of armed faults plus a log of what fired where."""
+
+    faults: List[Fault]
+    fired: List[Tuple[str, Dict[str, str]]] = field(default_factory=list)
+
+    def on_trip(self, stage: str, context: Dict[str, str]) -> None:
+        for fault in self.faults:
+            if fault.matches(stage, context):
+                fault.fired += 1
+                self.fired.append((stage, dict(context)))
+                raise fault.build(stage, context)
+
+
+# The active plan; ``None`` means injection is off and every trip is a
+# cheap no-op.  Single plan at a time — tests are single-threaded and
+# nesting restores the previous plan on exit.
+ACTIVE: Optional[FaultPlan] = None
+
+
+def trip(stage: str, **context: str) -> None:
+    """Fault-injection site: raise the armed fault for *stage*, if any."""
+    if ACTIVE is not None:
+        ACTIVE.on_trip(stage, context)
+
+
+@contextmanager
+def inject(*faults: Fault) -> Iterator[FaultPlan]:
+    """Arm *faults* for the duration of the block."""
+    global ACTIVE
+    plan = FaultPlan(list(faults))
+    prev = ACTIVE
+    ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        ACTIVE = prev
+
+
+def corrupt_kiss(text: str, mode: str = "truncate_row") -> str:
+    """Deterministically corrupt KISS2 *text* (parser-fault test input).
+
+    Modes: ``truncate_row`` drops the last field of the first
+    transition row; ``bad_directive`` prepends an unknown directive;
+    ``duplicate_row`` repeats the first transition row with its outputs
+    flipped (a contradictory transition).
+    """
+    lines = text.splitlines()
+    row_idx = next((i for i, ln in enumerate(lines)
+                    if ln.split("#", 1)[0].strip()
+                    and not ln.strip().startswith(".")), None)
+    if mode == "bad_directive":
+        return ".corrupted 1\n" + text
+    if row_idx is None:
+        raise ValueError("no transition row to corrupt")
+    if mode == "truncate_row":
+        fields = lines[row_idx].split()
+        lines[row_idx] = " ".join(fields[:-1])
+        return "\n".join(lines) + "\n"
+    if mode == "duplicate_row":
+        fields = lines[row_idx].split()
+        flipped = "".join("1" if ch == "0" else "0" if ch == "1" else ch
+                          for ch in fields[-1])
+        fields[-1] = flipped
+        lines.insert(row_idx + 1, " ".join(fields))
+        return "\n".join(lines) + "\n"
+    raise ValueError(f"unknown corruption mode {mode!r}")

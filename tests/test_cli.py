@@ -83,3 +83,57 @@ class TestVerify:
         assert main(["verify", "--benchmark", "lion",
                      "--algorithm", "igreedy"]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestFailureBehavior:
+    """Exit codes, --timeout/--no-fallback, and degradation summaries."""
+
+    def test_parse_error_exit_code_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kiss"
+        bad.write_text(".i 1\n.o 1\n0 a a\n")  # truncated row
+        assert main(["encode", str(bad)]) == 3
+        err = capsys.readouterr().err
+        assert "ParseError" in err
+        assert "Traceback" not in err
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["encode", "/no/such/file.kiss"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_fallback_maps_infeasible_to_exit_6(self, capsys):
+        # lion9's constraints are iexact-infeasible under the default
+        # caps; --no-fallback surfaces that as EncodingInfeasible
+        assert main(["encode", "--benchmark", "lion9",
+                     "--algorithm", "iexact", "--no-fallback"]) == 6
+        err = capsys.readouterr().err
+        assert "EncodingInfeasible" in err
+        assert "Traceback" not in err
+
+    def test_fallback_prints_degradation_summary(self, capsys):
+        assert main(["encode", "--benchmark", "lion9",
+                     "--algorithm", "iexact"]) == 0
+        captured = capsys.readouterr()
+        assert "degraded:" in captured.err
+        assert captured.err.count("degraded:") == 1  # one line, no traceback
+        assert "ihybrid" in captured.out  # the fallback that served
+
+    def test_timeout_flag_degrades_not_crashes(self, capsys):
+        assert main(["encode", "--benchmark", "bbtas",
+                     "--algorithm", "ihybrid", "--timeout", "0.001"]) == 0
+        assert "area" in capsys.readouterr().out
+
+    def test_verified_line_printed(self, capsys):
+        assert main(["encode", "--benchmark", "lion"]) == 0
+        assert "verified   : True" in capsys.readouterr().out
+
+    def test_budget_exhausted_exit_code_5(self, capsys):
+        # deterministic: inject the exhaustion rather than racing a
+        # real wall-clock deadline against a fast machine
+        from repro.errors import BudgetExhausted
+        from repro.testing import faults
+
+        with faults.inject(faults.Fault("encode", BudgetExhausted,
+                                        match={"algorithm": "ihybrid"})):
+            assert main(["encode", "--benchmark", "bbtas", "--algorithm",
+                         "ihybrid", "--no-fallback"]) == 5
+        assert "BudgetExhausted" in capsys.readouterr().err

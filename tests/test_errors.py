@@ -1,0 +1,112 @@
+"""Tests for the error taxonomy and the Budget exhaustion semantics."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    BudgetExhausted,
+    ConstraintError,
+    EncodingInfeasible,
+    ParseError,
+    ReproError,
+    VerificationError,
+    exit_code_for,
+)
+from repro.perf.budget import Budget, BudgetExceeded
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for cls in (ParseError, ConstraintError, BudgetExhausted,
+                    EncodingInfeasible, VerificationError):
+            assert issubclass(cls, ReproError)
+        # classes replacing historical ValueError sites stay catchable
+        assert issubclass(ParseError, ValueError)
+        assert issubclass(ConstraintError, ValueError)
+        assert issubclass(EncodingInfeasible, ValueError)
+
+    def test_context_rendering(self):
+        exc = BudgetExhausted("work limit 10 exceeded", limit="work",
+                              work=11, max_work=10, stage="iexact",
+                              machine="dk16")
+        s = str(exc)
+        assert "work=11/10" in s
+        assert "stage=iexact" in s
+        assert "machine=dk16" in s
+
+    def test_parse_error_line_and_token(self):
+        exc = ParseError("bad row", line=7, token="xyz")
+        assert exc.line == 7
+        assert exc.token == "xyz"
+        assert "line 7" in str(exc)
+        assert "'xyz'" in str(exc)
+
+    def test_plain_message_without_context(self):
+        assert str(ReproError("boom")) == "boom"
+
+    def test_exit_codes_are_distinct(self):
+        codes = [exit_code_for(cls("x")) for cls in
+                 (ParseError, ConstraintError, BudgetExhausted,
+                  EncodingInfeasible, VerificationError)]
+        assert codes == [3, 4, 5, 6, 7]
+        assert exit_code_for(ReproError("x")) == 1
+
+    def test_budget_exceeded_is_an_alias(self):
+        # historical name still works at every catch site
+        assert BudgetExceeded is BudgetExhausted
+
+
+class TestBudget:
+    def test_work_exhaustion_carries_counters(self):
+        b = Budget(work=3, stage="encode")
+        with pytest.raises(BudgetExhausted) as exc_info:
+            for _ in range(10):
+                b.charge()
+        exc = exc_info.value
+        assert exc.limit == "work"
+        assert exc.work == 4 and exc.max_work == 3
+        assert exc.stage == "encode"
+
+    def test_time_exhaustion_has_time_limit_kind(self):
+        b = Budget(seconds=0.0, stage="evaluate")
+        time.sleep(0.002)
+        with pytest.raises(BudgetExhausted) as exc_info:
+            b.check_time()
+        assert exc_info.value.limit == "time"
+        assert exc_info.value.stage == "evaluate"
+
+    def test_child_fraction_of_time(self):
+        b = Budget(seconds=10.0)
+        child = b.child(0.5)
+        remaining = child.remaining_seconds()
+        assert remaining is not None
+        assert 4.0 < remaining <= 5.0
+        # parent deadline unchanged
+        assert b.remaining_seconds() > 9.0
+
+    def test_child_fraction_of_work(self):
+        b = Budget(work=100)
+        b.work = 20
+        child = b.child(0.25)
+        assert child.max_work == 20  # 25% of the remaining 80
+        assert child.work == 0
+
+    def test_child_of_unbounded_is_unbounded(self):
+        child = Budget().child(0.5)
+        assert child.deadline is None and child.max_work is None
+
+    def test_child_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Budget().child(0.0)
+        with pytest.raises(ValueError):
+            Budget().child(1.5)
+
+    def test_child_inherits_stage(self):
+        b = Budget(seconds=1.0, stage="pipeline")
+        assert b.child(0.5).stage == "pipeline"
+        assert b.child(0.5, stage="encode").stage == "encode"
+
+    def test_sub_shares_deadline(self):
+        b = Budget(seconds=5.0)
+        assert b.sub(work=10).deadline == b.deadline

@@ -1,0 +1,221 @@
+"""Fault-injection suite: the pipeline must degrade, never crash.
+
+Every test arms a deterministic fault at one pipeline stage and asserts
+that ``encode_fsm`` still returns a valid — possibly degraded —
+encoding whose :class:`RunReport` names the fallback taken, and that
+the returned area is backed by an actually-verified PLA.
+"""
+
+import pytest
+
+from repro.encoding.nova import ALGORITHMS, FALLBACK_CHAIN, encode_fsm
+from repro.encoding.verify import verify_encoded_machine
+from repro.errors import (
+    BudgetExhausted,
+    ParseError,
+    ReproError,
+    VerificationError,
+)
+from repro.fsm.benchmarks import benchmark, benchmark_names
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.testing import faults
+
+SMALL = benchmark_names("small")
+
+
+def assert_valid(result, fsm):
+    """The invariants every returned result must satisfy."""
+    assert result.state_encoding.n == fsm.num_states
+    assert len(set(result.state_encoding.codes)) == fsm.num_states
+    assert result.report is not None
+    assert result.report.machine == fsm.name
+    if result.pla is not None:
+        # the area the caller sees must be backed by a correct PLA
+        vr = verify_encoded_machine(fsm, result.state_encoding, result.pla,
+                                    result.symbol_encoding,
+                                    result.out_symbol_encoding)
+        assert vr.ok, vr.mismatches[:3]
+
+
+class TestStageFaults:
+    """One fault per stage, on every small benchmark machine."""
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_encode_stage_budget_fault(self, name):
+        fsm = benchmark(name)
+        with faults.inject(faults.Fault("encode", BudgetExhausted,
+                                        match={"algorithm": "ihybrid"})) as plan:
+            r = encode_fsm(fsm, "ihybrid")
+        assert plan.fired
+        assert_valid(r, fsm)
+        assert r.report.degraded
+        assert r.report.fallbacks[0].algorithm == "ihybrid"
+        assert r.algorithm in FALLBACK_CHAIN
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_mv_min_stage_fault_degrades_to_last_resort(self, name):
+        fsm = benchmark(name)
+        with faults.inject(faults.Fault("mv_min", BudgetExhausted)):
+            r = encode_fsm(fsm, "ihybrid")
+        assert_valid(r, fsm)
+        assert r.algorithm == "onehot"
+        assert r.report.verified is True
+        assert any(e.algorithm == "ihybrid" for e in r.report.fallbacks)
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_minimize_stage_fault_reports_unminimized(self, name):
+        fsm = benchmark(name)
+        with faults.inject(faults.Fault("minimize", BudgetExhausted)):
+            r = encode_fsm(fsm, "ihybrid")
+        assert_valid(r, fsm)
+        assert r.algorithm == "ihybrid"  # the encoding itself survived
+        assert r.report.unminimized
+        assert r.report.degraded
+        assert r.cubes > 0
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_verify_stage_transient_fault_falls_back(self, name):
+        fsm = benchmark(name)
+        with faults.inject(faults.Fault("verify", VerificationError,
+                                        times=1)) as plan:
+            r = encode_fsm(fsm, "ihybrid")
+        assert plan.fired
+        assert_valid(r, fsm)
+        assert r.report.degraded
+        assert r.report.verified is True  # the fallback re-verified
+
+    def test_persistent_verify_fault_still_returns(self):
+        # even a verification gate that always fails must not crash the
+        # pipeline; the report owns up to the unverified result
+        fsm = benchmark("lion")
+        with faults.inject(faults.Fault("verify", VerificationError)):
+            r = encode_fsm(fsm, "ihybrid")
+        assert r.state_encoding.n == fsm.num_states
+        assert r.report.verified is False
+
+    def test_fault_at_every_stage_simultaneously(self):
+        fsm = benchmark("dk27")
+        with faults.inject(
+            faults.Fault("mv_min", BudgetExhausted),
+            faults.Fault("encode", BudgetExhausted,
+                         match={"algorithm": "ihybrid"}),
+            faults.Fault("minimize", BudgetExhausted, times=1),
+            faults.Fault("verify", VerificationError, times=1),
+        ):
+            r = encode_fsm(fsm, "ihybrid")
+        assert r.state_encoding.n == fsm.num_states
+        assert r.report.degraded
+
+    def test_no_fallback_raises_the_structured_error(self):
+        fsm = benchmark("lion")
+        with faults.inject(faults.Fault("encode", BudgetExhausted,
+                                        match={"algorithm": "ihybrid"})):
+            with pytest.raises(BudgetExhausted):
+                encode_fsm(fsm, "ihybrid", fallback=False)
+
+    def test_injection_off_is_clean(self):
+        r = encode_fsm(benchmark("lion"), "ihybrid")
+        assert not r.report.degraded
+        assert r.report.verified is True
+        assert r.report.fallbacks == []
+
+
+class TestParserFaults:
+    def test_parse_trip_site(self):
+        with faults.inject(faults.Fault("parse", ParseError)):
+            with pytest.raises(ParseError):
+                parse_kiss(".i 1\n.o 1\n0 a a 0\n")
+
+    @pytest.mark.parametrize("mode", ["truncate_row", "bad_directive",
+                                      "duplicate_row"])
+    def test_corrupted_kiss_raises_parse_error(self, mode):
+        text = to_kiss(benchmark("lion"))
+        with pytest.raises(ParseError) as exc_info:
+            parse_kiss(faults.corrupt_kiss(text, mode))
+        assert exc_info.value.line is not None or mode == "bad_directive"
+
+
+class TestDegradationUnderTinyBudget:
+    """Satellite: under a tiny budget every algorithm either succeeds
+    or falls back — and the reported area is still verified-correct."""
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_tiny_budget_never_crashes(self, alg):
+        import random
+
+        fsm = benchmark("bbtas")
+        r = encode_fsm(fsm, alg, timeout=0.001, rng=random.Random(0))
+        assert_valid(r, fsm)
+        if r.algorithm != alg:
+            assert r.report.degraded
+            assert r.report.fallbacks, "fallback must be on record"
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_generous_budget_matches_unbudgeted(self, alg):
+        import random
+
+        fsm = benchmark("lion")
+        a = encode_fsm(fsm, alg, rng=random.Random(0))
+        b = encode_fsm(fsm, alg, timeout=300.0, rng=random.Random(0))
+        assert a.algorithm == b.algorithm
+        assert a.area == b.area
+
+
+class TestRunReport:
+    def test_stage_timings_cover_the_pipeline(self):
+        r = encode_fsm(benchmark("lion"), "ihybrid")
+        stages = r.report.stage_seconds
+        for key in ("mv_min", "encode:ihybrid", "evaluate", "verify"):
+            assert key in stages and stages[key] >= 0.0
+
+    def test_summary_names_the_fallback(self):
+        with faults.inject(faults.Fault("encode", BudgetExhausted,
+                                        match={"algorithm": "iexact"})):
+            r = encode_fsm(benchmark("lion"), "iexact")
+        s = r.report.summary()
+        assert "degraded" in s and "iexact" in s and r.algorithm in s
+
+    def test_report_attached_even_on_clean_runs(self):
+        r = encode_fsm(benchmark("train4"), "igreedy")
+        assert r.report.requested_algorithm == "igreedy"
+        assert r.report.algorithm == "igreedy"
+        assert r.report.timeout is None
+
+
+class TestFaultHarness:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            faults.Fault("no_such_stage")
+
+    def test_times_bounds_firing(self):
+        fault = faults.Fault("encode", BudgetExhausted, times=2)
+        with faults.inject(fault) as plan:
+            for _ in range(2):
+                with pytest.raises(BudgetExhausted):
+                    faults.trip("encode")
+            faults.trip("encode")  # third trip: disarmed
+        assert fault.fired == 2
+        assert len(plan.fired) == 2
+
+    def test_match_filters_context(self):
+        with faults.inject(faults.Fault("encode", BudgetExhausted,
+                                        match={"algorithm": "iexact"})):
+            faults.trip("encode", algorithm="ihybrid")  # no match, no raise
+            with pytest.raises(BudgetExhausted):
+                faults.trip("encode", algorithm="iexact")
+
+    def test_plans_nest_and_restore(self):
+        with faults.inject(faults.Fault("parse", ParseError)):
+            with faults.inject():
+                faults.trip("parse")  # inner empty plan masks the outer
+            with pytest.raises(ParseError):
+                faults.trip("parse")
+        faults.trip("parse")  # everything disarmed again
+
+    def test_errors_propagate_out_of_reporoerror_scope(self):
+        # a non-ReproError injected at a stage is NOT swallowed by the
+        # fallback chain: only structured pipeline errors degrade
+        with faults.inject(faults.Fault("encode", KeyboardInterrupt,
+                                        match={"algorithm": "ihybrid"})):
+            with pytest.raises(KeyboardInterrupt):
+                encode_fsm(benchmark("lion"), "ihybrid")

@@ -104,12 +104,31 @@ class TestIexact:
             assert constraint_satisfied(enc, m)
 
     def test_gives_up_within_budget(self):
-        # heavy instance + tiny budgets: must return None, not hang
+        # heavy instance + tiny budgets: must give up quickly — either
+        # None (search caps exhausted) or BudgetExhausted (out of wall
+        # clock) — but never hang
+        from repro.errors import BudgetExhausted
+
         rng = random.Random(7)
         masks = [rng.randrange(1, 1 << 12) for _ in range(14)]
         cs = cs_from([m for m in masks if bin(m).count("1") > 1], 12)
-        enc = iexact_code(cs, max_work=50, max_vectors=2, time_budget=2.0)
-        assert enc is None or isinstance(enc, Encoding)
+        try:
+            enc = iexact_code(cs, max_work=50, max_vectors=2,
+                              time_budget=2.0)
+        except BudgetExhausted as exc:
+            assert exc.limit == "time"
+        else:
+            assert enc is None or isinstance(enc, Encoding)
+
+    def test_time_exhaustion_raises_structured_error(self):
+        from repro.errors import BudgetExhausted
+
+        rng = random.Random(7)
+        masks = [rng.randrange(1, 1 << 12) for _ in range(14)]
+        cs = cs_from([m for m in masks if bin(m).count("1") > 1], 12)
+        with pytest.raises(BudgetExhausted):
+            iexact_code(cs, max_work=None, max_vectors=64,
+                        time_budget=0.0)
 
 
 def brute_force_min_k(masks, n, k_max=4):

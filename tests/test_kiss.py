@@ -89,3 +89,70 @@ class TestRoundTrip:
             assert again.num_outputs == fsm.num_outputs
             assert set(again.states) == set(fsm.states)
             assert len(again.transitions) == len(fsm.transitions)
+
+
+class TestHardening:
+    """Parser robustness: line/token diagnostics, duplicate rejection,
+    whitespace tolerance."""
+
+    def test_parse_error_carries_line_and_token(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError) as exc_info:
+            parse_kiss(".i 1\n.o 1\n0 a a 0\n.zz 3\n")
+        assert exc_info.value.line == 4
+        assert exc_info.value.token == ".zz"
+
+    def test_bad_row_reports_line(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError) as exc_info:
+            parse_kiss(".i 1\n.o 1\n0 a a 0\n0 b b\n")
+        assert exc_info.value.line == 4
+        assert "4 fields" in str(exc_info.value)
+
+    def test_non_integer_directive_argument(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError) as exc_info:
+            parse_kiss(".i one\n.o 1\n0 a a 0\n")
+        assert exc_info.value.line == 1
+        assert exc_info.value.token == "one"
+
+    def test_directive_missing_argument(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_kiss(".i\n.o 1\n0 a a 0\n")
+        with pytest.raises(ParseError):
+            parse_kiss(".i 1\n.o 1\n.r\n0 a a 0\n")
+
+    def test_duplicate_transition_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError) as exc_info:
+            parse_kiss(".i 1\n.o 1\n0 a a 0\n0 a a 0\n")
+        assert "duplicate" in str(exc_info.value)
+        assert "line 3" in str(exc_info.value)  # points at the original
+
+    def test_contradictory_transition_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError) as exc_info:
+            parse_kiss(".i 1\n.o 1\n0 a a 0\n0 a b 1\n")
+        assert "contradictory" in str(exc_info.value)
+
+    def test_crlf_and_trailing_whitespace_tolerated(self):
+        text = ".i 2\r\n.o 1\t \r\n00 a a 0   \r\n01 a b 1\r\n"
+        fsm = parse_kiss(text)
+        assert fsm.num_inputs == 2
+        assert len(fsm.transitions) == 2
+        assert fsm.transitions[0].inputs == "00"
+
+    def test_bom_tolerated(self):
+        fsm = parse_kiss("\ufeff.i 1\n.o 1\n0 a a 0\n")
+        assert fsm.num_inputs == 1
+
+    def test_parse_errors_are_still_value_errors(self):
+        with pytest.raises(ValueError):
+            parse_kiss(".i 1\n.o 1\n.zz\n")
