@@ -11,7 +11,7 @@ import pytest
 
 from repro.eval.tables import table6_row
 
-from conftest import note, record, subset_names
+from conftest import note, record, subset_names, table_row
 
 NAMES = subset_names("paper30")
 _rows = []
@@ -19,8 +19,8 @@ _rows = []
 
 @pytest.mark.parametrize("name", NAMES)
 def test_table6_row(benchmark, name):
-    row = benchmark.pedantic(table6_row, args=(name,), iterations=1,
-                             rounds=1)
+    row = benchmark.pedantic(table_row, args=(6, name, table6_row, NAMES),
+                             iterations=1, rounds=1)
     record("table6", row)
     _rows.append(row)
     assert row["wsat"] >= 0 and row["wunsat"] >= 0

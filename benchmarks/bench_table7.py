@@ -11,7 +11,7 @@ import pytest
 
 from repro.eval.tables import table7_row, totals
 
-from conftest import note, record, subset_names
+from conftest import note, record, subset_names, table_row
 
 NAMES = subset_names("table7")
 _rows = []
@@ -19,8 +19,8 @@ _rows = []
 
 @pytest.mark.parametrize("name", NAMES)
 def test_table7_row(benchmark, name):
-    row = benchmark.pedantic(table7_row, args=(name,), iterations=1,
-                             rounds=1)
+    row = benchmark.pedantic(table_row, args=(7, name, table7_row, NAMES),
+                             iterations=1, rounds=1)
     record("table7", row)
     _rows.append(row)
     assert row["mustang_cubes"] > 0

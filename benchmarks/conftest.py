@@ -8,14 +8,23 @@ session teardown the formatted tables are printed and written to
 The machine subset defaults to the quick ``small`` set; set
 ``NOVA_BENCH_SET=paper30`` (or ``table5`` / ``table7`` / ``all``) for
 the full paper protocol.
+
+Parallelism: ``NOVA_BENCH_JOBS=N`` (N > 1) computes each table's rows
+up front through the crash-safe batch runner — one isolated worker
+process per row, hard ``NOVA_BENCH_TASK_TIMEOUT``-second kills (default
+900), one retry — and the per-row provenance journal lands in
+``benchmarks/results/runs/table<N>/results.jsonl``.  The default
+``NOVA_BENCH_JOBS=1`` keeps the historical serial in-process path, so
+pytest-benchmark timings still measure the row computation itself.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 from collections import defaultdict
 from pathlib import Path
-from typing import Dict, List
+from typing import Callable, Dict, List, Sequence
 
 import pytest
 
@@ -24,6 +33,8 @@ from repro.eval.tables import format_table
 from repro.fsm.benchmarks import benchmark_names
 
 SUBSET = os.environ.get("NOVA_BENCH_SET", "small")
+JOBS = int(os.environ.get("NOVA_BENCH_JOBS", "1"))
+TASK_TIMEOUT = float(os.environ.get("NOVA_BENCH_TASK_TIMEOUT", "900"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 # substrate counters appended to every recorded row (compact names keep
@@ -49,6 +60,56 @@ def subset_names(table: str = "paper30") -> List[str]:
     chosen = benchmark_names(SUBSET) if SUBSET != "paper30" else table_set
     names = [n for n in table_set if n in set(chosen)]
     return names or table_set[:3]
+
+
+_batch_rows: Dict[int, Dict[str, dict]] = {}
+
+
+def table_row(table_num: int, name: str, row_fn: Callable[[str], dict],
+              names: Sequence[str]) -> dict:
+    """One table row — serial, or prefetched in parallel by the runner.
+
+    With ``NOVA_BENCH_JOBS<=1`` this is exactly ``row_fn(name)``.  With
+    more jobs, the first call fans the whole table (*names*) out over
+    the batch runner and every later call is a journal lookup, so the
+    table is reproduced in parallel with per-row provenance.
+    """
+    if JOBS <= 1:
+        return row_fn(name)
+    if table_num not in _batch_rows:
+        _batch_rows[table_num] = _run_table_batch(table_num, list(names))
+    return _batch_rows[table_num][name]
+
+
+def _run_table_batch(table_num: int, names: List[str]) -> Dict[str, dict]:
+    from repro.runner import BatchRunner, BatchTask
+
+    run_dir = RESULTS_DIR / "runs" / f"table{table_num}"
+    if run_dir.exists():  # provenance of the *current* run only
+        shutil.rmtree(run_dir)
+    tasks = [BatchTask(machine=n, kind="table", table=table_num)
+             for n in names]
+    report = BatchRunner(tasks, run_dir, jobs=JOBS,
+                         task_timeout=TASK_TIMEOUT, retries=1).run()
+    rows = {}
+    for e in report.entries:
+        if not e.get("record"):
+            continue
+        row = e["record"]["row"]
+        # the substrate counters were collected *inside* the worker;
+        # fold them into the row exactly as record() would in-process
+        worker_stats = e.get("perf") or {}
+        for col, counter in PERF_ROW_COUNTERS.items():
+            row.setdefault(col, worker_stats.get(counter, 0))
+        rows[e["machine"]] = row
+    missing = [n for n in names if n not in rows]
+    if missing:
+        failures = {e["machine"]: (e.get("error") or {}).get("rendered")
+                    for e in report.entries if e["status"] == "failed"}
+        raise RuntimeError(
+            f"table{table_num} batch left rows incomplete: {missing}; "
+            f"failures: {failures}; journal: {run_dir / 'results.jsonl'}")
+    return rows
 
 
 def record(table: str, row: dict) -> None:

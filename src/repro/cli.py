@@ -102,6 +102,60 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Crash-safe parallel sweep over many machines (see README §Batch)."""
+    import time as _time
+
+    from repro.runner import (
+        BatchRunner,
+        RunDirBusy,
+        tasks_for_benchmarks,
+        tasks_for_kiss_dir,
+    )
+
+    def progress(line: str) -> None:
+        print(f"  {line}", file=sys.stderr)
+
+    if args.resume:
+        runner = BatchRunner.resume(
+            args.resume,
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            fail_fast=args.fail_fast or None,
+            progress=progress,
+            force=args.force,
+        )
+    else:
+        options = {"effort": args.effort} if args.effort else None
+        if args.kiss_dir:
+            tasks = tasks_for_kiss_dir(args.kiss_dir, args.algorithm,
+                                       options, timeout=args.task_timeout)
+        else:
+            tasks = tasks_for_benchmarks(args.set, args.algorithm,
+                                         options, timeout=args.task_timeout)
+        run_dir = args.out or f"batch-runs/{_time.strftime('%Y%m%d-%H%M%S')}"
+        runner = BatchRunner(
+            tasks, run_dir,
+            jobs=args.jobs if args.jobs is not None else 1,
+            task_timeout=args.task_timeout,
+            retries=args.retries if args.retries is not None else 2,
+            fail_fast=args.fail_fast,
+            shuffle_seed=args.shuffle_seed,
+            progress=progress,
+            force=args.force,
+        )
+    try:
+        report = runner.run()
+    except RunDirBusy as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    print(f"journal    : {runner.run_dir / 'results.jsonl'}")
+    print(f"resume with: nova batch --resume {runner.run_dir}")
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name in benchmark_names("all"):
         print(f"{name:12s} {benchmark(name)!r}")
@@ -219,6 +273,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     tab.add_argument("--subset", default="small",
                      choices=("small", "paper30", "table5", "table7", "all"))
     tab.set_defaults(func=_cmd_table)
+
+    bat = sub.add_parser(
+        "batch",
+        help="crash-safe parallel sweep over many machines",
+        description="Fan encodes out over isolated worker processes with "
+                    "hard per-task timeouts, retries down the degradation "
+                    "ladder, and a durable results.jsonl journal; an "
+                    "interrupted run resumes with --resume RUN_DIR.")
+    bat.add_argument("kiss_dir", nargs="?",
+                     help="directory of .kiss/.kiss2 files to encode")
+    bat.add_argument("--set", default="small",
+                     choices=("small", "paper30", "table5", "table7", "all"),
+                     help="builtin benchmark subset (when no KISS dir)")
+    bat.add_argument("--algorithm", default="ihybrid", choices=ALGORITHMS)
+    bat.add_argument("--effort", default=None, choices=("full", "low"),
+                     help="pin minimization effort (default: per-machine)")
+    bat.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="max concurrent worker processes (default 1)")
+    bat.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="hard wall-clock limit per attempt; the worker "
+                          "process is killed on expiry and the task retried "
+                          "at the next ladder rung")
+    bat.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="extra attempts per task after the first "
+                          "(default 2)")
+    bat.add_argument("--resume", metavar="RUN_DIR",
+                     help="resume this run directory, skipping journaled "
+                          "tasks")
+    bat.add_argument("--fail-fast", action="store_true",
+                     help="stop the whole batch at the first task that "
+                          "exhausts its retries")
+    bat.add_argument("--shuffle-seed", type=int, default=None, metavar="N",
+                     help="deterministically shuffle task start order")
+    bat.add_argument("--force", action="store_true",
+                     help="run even if the manifest records a live batch "
+                          "parent for this run directory")
+    bat.add_argument("--out", metavar="RUN_DIR",
+                     help="run directory (default batch-runs/<timestamp>)")
+    bat.set_defaults(func=_cmd_batch)
 
     lst = sub.add_parser("list", help="list benchmark machines")
     lst.set_defaults(func=_cmd_list)

@@ -76,6 +76,15 @@ class FallbackEvent:
     reason: str  # rendered message, including stage/budget context
     stage: Optional[str] = None
 
+    def to_dict(self) -> Dict:
+        return {"algorithm": self.algorithm, "error": self.error,
+                "reason": self.reason, "stage": self.stage}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FallbackEvent":
+        return cls(algorithm=d["algorithm"], error=d["error"],
+                   reason=d["reason"], stage=d.get("stage"))
+
 
 @dataclass
 class RunReport:
@@ -145,6 +154,38 @@ class RunReport:
         reason = self.degradation_reason or "degraded"
         return f"{self.machine}: degraded {path} ({reason})"
 
+    def to_dict(self) -> Dict:
+        """JSON-safe rendering for journals and cross-process reports."""
+        return {
+            "machine": self.machine,
+            "requested_algorithm": self.requested_algorithm,
+            "algorithm": self.algorithm,
+            "degraded": self.degraded,
+            "degradation_reason": self.degradation_reason,
+            "fallbacks": [e.to_dict() for e in self.fallbacks],
+            "stage_seconds": {k: round(v, 6)
+                              for k, v in sorted(self.stage_seconds.items())},
+            "verified": self.verified,
+            "unminimized": self.unminimized,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "RunReport":
+        return cls(
+            machine=d["machine"],
+            requested_algorithm=d["requested_algorithm"],
+            algorithm=d.get("algorithm", ""),
+            degraded=d.get("degraded", False),
+            degradation_reason=d.get("degradation_reason"),
+            fallbacks=[FallbackEvent.from_dict(e)
+                       for e in d.get("fallbacks", [])],
+            stage_seconds=dict(d.get("stage_seconds", {})),
+            verified=d.get("verified"),
+            unminimized=d.get("unminimized", False),
+            timeout=d.get("timeout"),
+        )
+
 
 @dataclass
 class NovaResult:
@@ -171,6 +212,35 @@ class NovaResult:
         if self.symbol_encoding is not None:
             b += self.symbol_encoding.nbits
         return b
+
+    def to_record(self) -> Dict:
+        """Everything the batch journal needs, as one JSON-safe dict.
+
+        Encodings are stored as ``(nbits, codes)`` pairs — exact, so
+        two runs of the same task can be compared bit-for-bit — plus
+        the table metrics and the full :class:`RunReport`.  The heavy
+        objects (FSM, covers, the PLA) stay behind; a journal row must
+        be cheap to write and to re-read.
+        """
+        def enc(e: Optional[Encoding]):
+            return None if e is None else {"nbits": e.nbits,
+                                           "codes": list(e.codes)}
+
+        return {
+            "machine": self.fsm.name,
+            "algorithm": self.algorithm,
+            "bits": self.bits,
+            "state_encoding": enc(self.state_encoding),
+            "symbol_encoding": enc(self.symbol_encoding),
+            "out_symbol_encoding": enc(self.out_symbol_encoding),
+            "cubes": self.cubes,
+            "area": self.area,
+            "seconds": round(self.seconds, 6),
+            "satisfied_weight": self.satisfied_weight,
+            "unsatisfied_weight": self.unsatisfied_weight,
+            "mv_cover_size": self.mv_cover_size,
+            "report": None if self.report is None else self.report.to_dict(),
+        }
 
 
 def fallback_chain(algorithm: str) -> Tuple[str, ...]:

@@ -16,7 +16,22 @@ working.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+
+def _rebuild_error(cls, args, state):
+    """Pickle/JSON reconstructor that bypasses ``__init__``.
+
+    Exception subclasses with extra required ``__init__`` parameters
+    break the default ``BaseException.__reduce__`` (it replays
+    ``cls(*self.args)``), which in turn breaks ``multiprocessing``
+    result transport.  Rebuilding through ``__new__`` plus a state dict
+    round-trips any subclass regardless of its constructor signature.
+    """
+    exc = cls.__new__(cls)
+    BaseException.__init__(exc, *args)
+    exc.__dict__.update(state)
+    return exc
 
 
 class ReproError(Exception):
@@ -39,6 +54,9 @@ class ReproError(Exception):
         self.stage = stage
         self.machine = machine
         self.elapsed = elapsed
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, dict(self.__dict__)))
 
     def _context_parts(self) -> List[str]:
         parts = []
@@ -137,6 +155,53 @@ class VerificationError(ReproError):
     ) -> None:
         super().__init__(message, **context)
         self.mismatches = list(mismatches or [])
+
+
+#: Name -> class map of the public taxonomy, for JSON deserialization.
+ERROR_CLASSES = {
+    cls.__name__: cls
+    for cls in (ReproError, ParseError, ConstraintError, BudgetExhausted,
+                EncodingInfeasible, VerificationError)
+}
+
+
+def error_to_dict(exc: BaseException) -> Dict[str, Any]:
+    """JSON-safe rendering of *exc* for journals and batch reports.
+
+    Works for any exception; taxonomy members additionally carry their
+    structured context attributes so :func:`error_from_dict` can
+    reconstruct an equivalent error in another process.
+    """
+    d: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": getattr(exc, "message", None) or str(exc),
+        "rendered": str(exc),
+    }
+    if isinstance(exc, ReproError):
+        for key, value in exc.__dict__.items():
+            if key != "message" and value is not None:
+                d[key] = value
+    return d
+
+
+def error_from_dict(d: Dict[str, Any]) -> ReproError:
+    """Rebuild a taxonomy error from :func:`error_to_dict` output.
+
+    Unknown types come back as plain :class:`ReproError` (the original
+    class name is preserved in the message), so a journal written by a
+    newer version still loads.
+    """
+    cls = ERROR_CLASSES.get(d.get("type", ""), None)
+    message = d.get("message") or d.get("rendered") or "unknown error"
+    if cls is None:
+        message = f"{d.get('type', 'Error')}: {message}"
+        cls = ReproError
+    exc = cls(message)
+    for key, value in d.items():
+        if key in ("type", "message", "rendered"):
+            continue
+        setattr(exc, key, value)
+    return exc
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -82,6 +82,22 @@ class PerfStats:
     def add_time(self, name: str, seconds: float) -> None:
         self.timers[name] = self.timers.get(name, 0.0) + seconds
 
+    def merge(self, flat: Dict[str, float]) -> None:
+        """Fold an :meth:`as_dict` snapshot from another collector in.
+
+        The batch runner aggregates per-worker counters with this:
+        counts and timers add; ``urp_max_depth`` (a high-water mark)
+        takes the max.  Unknown keys are ignored so snapshots from
+        other versions still merge.
+        """
+        for name, value in flat.items():
+            if name.startswith("time_"):
+                self.add_time(name[len("time_"):], float(value))
+            elif name == "urp_max_depth":
+                self.urp_max_depth = max(self.urp_max_depth, int(value))
+            elif name in _COUNTERS:
+                setattr(self, name, getattr(self, name) + int(value))
+
     def as_dict(self) -> Dict[str, float]:
         """Counters and timers as one flat dict (timers in seconds)."""
         out: Dict[str, float] = {name: getattr(self, name)

@@ -1,0 +1,58 @@
+"""Crash-safe parallel batch-encoding engine.
+
+One :class:`BatchRunner` fans a list of :class:`BatchTask` out over a
+pool of isolated worker *processes* (``multiprocessing`` spawn
+context), enforces a per-task hard wall-clock timeout by killing the
+worker, retries failed or killed tasks down the degradation ladder
+(``iexact → ihybrid → igreedy → onehot``), and journals every outcome
+as one durable JSON line so a crashed or interrupted run resumes
+exactly where it left off.
+
+Layout
+------
+``batch``
+    The engine: task model, scheduling loop, hard kills, retry ladder.
+``worker``
+    The child-process side: load the machine, arm injected faults, run
+    the pipeline, ship a JSON-safe outcome back over a pipe.
+``journal``
+    Durability: fsync'd append-only ``results.jsonl`` plus an atomic
+    (``os.replace``) ``manifest.json``; a tolerant loader for resume.
+``report``
+    Aggregation of journal entries into one :class:`BatchReport`
+    (status counts, retries, kill reasons, fallbacks, merged perf
+    counters).
+"""
+
+from repro.runner.batch import (
+    BatchRunner,
+    BatchTask,
+    RunDirBusy,
+    tasks_for_benchmarks,
+    tasks_for_kiss_dir,
+)
+from repro.runner.journal import (
+    Journal,
+    JournalReadResult,
+    read_manifest,
+    read_results,
+    repair,
+    write_manifest,
+)
+from repro.runner.report import BatchReport, aggregate
+
+__all__ = [
+    "BatchRunner",
+    "BatchTask",
+    "BatchReport",
+    "RunDirBusy",
+    "Journal",
+    "JournalReadResult",
+    "aggregate",
+    "read_manifest",
+    "read_results",
+    "repair",
+    "tasks_for_benchmarks",
+    "tasks_for_kiss_dir",
+    "write_manifest",
+]

@@ -1,0 +1,507 @@
+"""The batch engine: isolated workers, hard kills, retry ladder, resume.
+
+Why processes and SIGKILL, when the pipeline already threads a
+cooperative :class:`repro.perf.Budget` deadline through every stage?
+Because the Budget can only fire where code *checks* it: a pathological
+recursion between check sites, a stuck C-level loop, or an allocation
+storm on a wide machine (the ``scf``-class blowups) never reaches the
+next ``charge()``.  The only bound that always holds is an outer
+process boundary — the parent watches the wall clock and kills the
+worker outright, then retries the task at the next rung of the
+degradation ladder (``iexact → ihybrid → igreedy → onehot``), the same
+order :func:`repro.encoding.nova.encode_fsm` uses *inside* a healthy
+process.
+
+Crash safety is asymmetric by design: workers never touch the journal;
+the parent appends one durable line per finished task.  A parent killed
+mid-run leaves a valid journal prefix, and ``resume`` skips exactly the
+journaled task ids.  Workers are spawned (not forked) so each attempt
+starts from a clean interpreter — no inherited caches, no half-poisoned
+state from a previous fault.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as conn_wait
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.encoding.nova import fallback_chain
+from repro.runner import journal as journal_mod
+from repro.runner.journal import (
+    Journal,
+    read_manifest,
+    read_results,
+    repair,
+    write_manifest,
+)
+from repro.runner.report import BatchReport, aggregate
+from repro.runner.worker import child_main
+
+#: Attempt terminal states the parent can classify.
+KILLED_TIMEOUT = "timeout"
+
+
+class RunDirBusy(RuntimeError):
+    """Another live batch parent already owns this run directory.
+
+    Two parents appending to the same ``results.jsonl`` would journal
+    duplicate rows; resume is only safe once the recorded parent is
+    dead.  Pass ``force=True`` (CLI: ``--force``) to override when the
+    liveness check is a false positive (pid reuse).
+    """
+
+
+def _pid_alive(pid) -> bool:
+    """Best-effort liveness check for the pid recorded in a manifest."""
+    try:
+        pid = int(pid)
+    except (TypeError, ValueError):
+        return False
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+@dataclass
+class BatchTask:
+    """One unit of fleet work: a machine plus what to run on it.
+
+    ``machine`` is a benchmark name or a path to a KISS2 file.
+    ``kind`` is ``"encode"`` (one :func:`encode_fsm` run; ``options``
+    are passed through) or ``"table"`` (one paper-table row;
+    ``table`` picks which).  ``faults`` carries serialized
+    :class:`repro.testing.faults.Fault` specs armed inside the worker —
+    the robustness tests' handle for planting hangs and crashes.  Each
+    attempt arms a *fresh* plan (workers are new processes), so fired
+    counters don't carry across retries; scope a transient fault with
+    ``match={"algorithm": ...}`` on the ladder rung it should hit.
+    """
+
+    machine: str
+    algorithm: str = "ihybrid"
+    kind: str = "encode"
+    table: Optional[int] = None
+    options: Dict = field(default_factory=dict)
+    faults: List[Dict] = field(default_factory=list)
+    task_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("encode", "table"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.kind == "table" and self.table is None:
+            raise ValueError("table tasks need a table number")
+        if not self.task_id:
+            if self.kind == "table":
+                self.task_id = f"table{self.table}:{self.machine}"
+            else:
+                self.task_id = f"{self.algorithm}:{self.machine}"
+
+    def spec(self) -> Dict:
+        """JSON-safe form, used both for the manifest and the worker."""
+        return {
+            "task": self.task_id,
+            "machine": self.machine,
+            "algorithm": self.algorithm,
+            "kind": self.kind,
+            "table": self.table,
+            "options": dict(self.options),
+            "faults": [dict(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_spec(cls, d: Dict) -> "BatchTask":
+        return cls(
+            machine=d["machine"],
+            algorithm=d.get("algorithm", "ihybrid"),
+            kind=d.get("kind", "encode"),
+            table=d.get("table"),
+            options=dict(d.get("options") or {}),
+            faults=list(d.get("faults") or []),
+            task_id=d.get("task", ""),
+        )
+
+    def ladder(self) -> Sequence[str]:
+        """Algorithms to use on successive attempts (degradation order)."""
+        if self.kind != "encode":
+            return (self.algorithm,)
+        return fallback_chain(self.algorithm)
+
+
+class _Active:
+    """Book-keeping for one in-flight worker process."""
+
+    __slots__ = ("task", "attempt", "proc", "conn", "deadline",
+                 "started", "task_t0", "attempts")
+
+    def __init__(self, task: BatchTask, attempt: int, proc, conn,
+                 deadline: Optional[float], task_t0: float,
+                 attempts: List[Dict]) -> None:
+        self.task = task
+        self.attempt = attempt  # 0-based attempt index
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+        self.started = time.monotonic()
+        self.task_t0 = task_t0
+        self.attempts = attempts  # attempt records accumulated so far
+
+    def algorithm(self) -> str:
+        ladder = self.task.ladder()
+        return ladder[min(self.attempt, len(ladder) - 1)]
+
+
+class BatchRunner:
+    """Run *tasks* to completion, journaling into *run_dir*.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum concurrent worker processes.
+    task_timeout:
+        Hard wall-clock seconds per *attempt*; on expiry the worker is
+        SIGKILLed and the task retried at the next ladder rung.
+    retries:
+        Extra attempts after the first (so ``retries=2`` means at most
+        3 processes per task).
+    fail_fast:
+        Stop scheduling and kill in-flight work as soon as one task
+        exhausts its attempts.
+    shuffle_seed:
+        Deterministically shuffle task start order (load balancing for
+        skewed machine sizes); results are order-independent.
+    progress:
+        Optional callable receiving one line per finished task.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[BatchTask],
+        run_dir: Union[str, Path],
+        jobs: int = 1,
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        fail_fast: bool = False,
+        shuffle_seed: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        force: bool = False,
+    ) -> None:
+        ids = [t.task_id for t in tasks]
+        dupes = {i for i in ids if ids.count(i) > 1}
+        if dupes:
+            raise ValueError(f"duplicate task ids: {sorted(dupes)}")
+        self.tasks = list(tasks)
+        self.run_dir = Path(run_dir)
+        self.jobs = max(1, int(jobs))
+        self.task_timeout = task_timeout
+        self.retries = max(0, int(retries))
+        self.fail_fast = fail_fast
+        self.shuffle_seed = shuffle_seed
+        self.force = force
+        self.progress = progress or (lambda line: None)
+        self._ctx = get_context("spawn")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(cls, run_dir: Union[str, Path], *,
+               jobs: Optional[int] = None,
+               task_timeout: Optional[float] = None,
+               retries: Optional[int] = None,
+               fail_fast: Optional[bool] = None,
+               progress: Optional[Callable[[str], None]] = None,
+               force: bool = False,
+               ) -> "BatchRunner":
+        """Rebuild a runner from ``manifest.json`` of a previous run.
+
+        The task set always comes from the manifest (that is what makes
+        the union of journaled results well-defined); scheduling knobs
+        default to the recorded ones but may be overridden.
+        """
+        manifest = read_manifest(run_dir)
+        cfg = manifest.get("config", {})
+        return cls(
+            [BatchTask.from_spec(s) for s in manifest["tasks"]],
+            run_dir,
+            jobs=cfg.get("jobs", 1) if jobs is None else jobs,
+            task_timeout=(cfg.get("task_timeout") if task_timeout is None
+                          else task_timeout),
+            retries=cfg.get("retries", 2) if retries is None else retries,
+            fail_fast=(cfg.get("fail_fast", False) if fail_fast is None
+                       else fail_fast),
+            shuffle_seed=cfg.get("shuffle_seed"),
+            progress=progress,
+            force=force,
+        )
+
+    # ------------------------------------------------------------------
+    def _manifest(self, status: str) -> Dict:
+        return {
+            "version": 1,
+            "status": status,
+            "pid": os.getpid(),
+            "config": {
+                "jobs": self.jobs,
+                "task_timeout": self.task_timeout,
+                "retries": self.retries,
+                "fail_fast": self.fail_fast,
+                "shuffle_seed": self.shuffle_seed,
+            },
+            "tasks": [t.spec() for t in self.tasks],
+        }
+
+    def _spawn(self, task: BatchTask, attempt: int, task_t0: float,
+               attempts: List[Dict]) -> _Active:
+        spec = task.spec()
+        ladder = task.ladder()
+        spec["algorithm"] = ladder[min(attempt, len(ladder) - 1)]
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(target=child_main, args=(spec, send),
+                                 daemon=True)
+        proc.start()
+        send.close()  # parent keeps only the read end → EOF is reliable
+        deadline = (None if self.task_timeout is None
+                    else time.monotonic() + self.task_timeout)
+        return _Active(task, attempt, proc, recv, deadline, task_t0,
+                       attempts)
+
+    # ------------------------------------------------------------------
+    def run(self) -> BatchReport:
+        """Execute every non-journaled task; return the aggregate report."""
+        t0 = time.monotonic()
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._check_not_busy()
+        prior = repair(self.run_dir / journal_mod.RESULTS_NAME)
+        if prior.truncated_tail is not None:
+            self.progress(f"journal: dropped truncated tail "
+                          f"({len(prior.truncated_tail)} bytes) from an "
+                          f"interrupted write; its task will re-run")
+        done = set(prior.task_ids)
+        write_manifest(self.run_dir, self._manifest("running"))
+
+        pending = [t for t in self.tasks if t.task_id not in done]
+        if self.shuffle_seed is not None:
+            random.Random(self.shuffle_seed).shuffle(pending)
+        pending.reverse()  # pop() from the front of the original order
+
+        active: List[_Active] = []
+        failed_any = False
+        with Journal(self.run_dir / journal_mod.RESULTS_NAME) as journal:
+            try:
+                while pending or active:
+                    while pending and len(active) < self.jobs:
+                        task = pending.pop()
+                        active.append(self._spawn(task, 0, time.monotonic(),
+                                                  []))
+                    self._poll(active, journal)
+                    finished = [a for a in active if a.proc is None]
+                    active = [a for a in active if a.proc is not None]
+                    for a in finished:
+                        if a.attempts[-1]["status"] in ("ok", "degraded"):
+                            continue
+                        if a.attempt < self.retries:
+                            active.append(self._spawn(
+                                a.task, a.attempt + 1, a.task_t0, a.attempts))
+                        else:
+                            failed_any = True
+                            if self.fail_fast:
+                                raise _FailFast(a.task.task_id)
+            except _FailFast as stop:
+                for a in active:
+                    a.proc.kill()
+                    a.proc.join()
+                    a.conn.close()
+                write_manifest(self.run_dir, self._manifest("failed"))
+                self.progress(f"fail-fast: stopping after {stop}")
+                return self._report(t0, interrupted=True)
+        write_manifest(self.run_dir,
+                       self._manifest("failed" if failed_any else "complete"))
+        return self._report(t0)
+
+    def _check_not_busy(self) -> None:
+        """Refuse to journal into a run dir another live parent owns."""
+        if self.force:
+            return
+        try:
+            manifest = read_manifest(self.run_dir)
+        except FileNotFoundError:
+            return
+        pid = manifest.get("pid")
+        if (manifest.get("status") == "running" and pid != os.getpid()
+                and _pid_alive(pid)):
+            raise RunDirBusy(
+                f"{self.run_dir}: manifest says a batch parent "
+                f"(pid {pid}) is still running here; two writers would "
+                f"duplicate journal rows. Wait for it, kill it, or pass "
+                f"force=True (CLI: --force) if pid {pid} is not a nova "
+                f"batch.")
+
+    def _report(self, t0: float, interrupted: bool = False) -> BatchReport:
+        entries = read_results(self.run_dir / journal_mod.RESULTS_NAME).records
+        report = aggregate(entries, run_dir=self.run_dir,
+                           wall_seconds=time.monotonic() - t0,
+                           planned=len(self.tasks), interrupted=interrupted)
+        return report
+
+    # ------------------------------------------------------------------
+    def _poll(self, active: List[_Active], journal: Journal) -> None:
+        """Wait for one completion/EOF/deadline; finalize what finished.
+
+        Entries whose process finished are marked by ``a.proc = None``;
+        the caller decides between retry and final journaling.
+        """
+        if not active:
+            return
+        now = time.monotonic()
+        timeout = 0.5
+        for a in active:
+            if a.deadline is not None:
+                timeout = min(timeout, max(0.0, a.deadline - now))
+        ready = set(conn_wait([a.conn for a in active], timeout=timeout))
+        now = time.monotonic()
+        for a in active:
+            if a.conn in ready:
+                try:
+                    outcome = a.conn.recv()
+                except (EOFError, OSError):
+                    self._reap(a, journal, status="crashed")
+                    continue
+                self._finish(a, journal, outcome)
+            elif a.deadline is not None and now > a.deadline:
+                a.proc.kill()
+                self._reap(a, journal, status="killed",
+                           killed=KILLED_TIMEOUT)
+
+    def _attempt_record(self, a: _Active, status: str, *,
+                        killed: Optional[str] = None,
+                        exitcode: Optional[int] = None,
+                        error: Optional[Dict] = None,
+                        elapsed: Optional[float] = None) -> Dict:
+        return {
+            "algorithm": a.algorithm(),
+            "status": status,
+            "killed": killed,
+            "exitcode": exitcode,
+            "error": error,
+            "elapsed": round(time.monotonic() - a.started
+                             if elapsed is None else elapsed, 6),
+        }
+
+    def _finish(self, a: _Active, journal: Journal, outcome: Dict) -> None:
+        """A worker reported a result (success, degraded, or error)."""
+        a.proc.join()
+        a.conn.close()
+        status = outcome.get("status", "error")
+        a.attempts.append(self._attempt_record(
+            a, status, error=outcome.get("error"),
+            elapsed=outcome.get("elapsed")))
+        if status in ("ok", "degraded"):
+            self._journal_final(a, journal, status,
+                                record=outcome.get("record"),
+                                perf=outcome.get("perf") or {})
+        elif a.attempt >= self.retries:
+            self._journal_final(a, journal, "failed",
+                                error=outcome.get("error"))
+        a.proc = None
+
+    def _reap(self, a: _Active, journal: Journal, status: str,
+              killed: Optional[str] = None) -> None:
+        """A worker died without reporting (kill, crash, or OOM)."""
+        a.proc.join()
+        exitcode = a.proc.exitcode
+        a.conn.close()
+        a.attempts.append(self._attempt_record(
+            a, status, killed=killed, exitcode=exitcode))
+        if a.attempt >= self.retries:
+            self._journal_final(a, journal, "failed")
+        a.proc = None
+
+    def _journal_final(self, a: _Active, journal: Journal, status: str,
+                       record: Optional[Dict] = None,
+                       perf: Optional[Dict] = None,
+                       error: Optional[Dict] = None) -> None:
+        """Write the task's single, durable journal line."""
+        last = a.attempts[-1]
+        entry = {
+            "task": a.task.task_id,
+            "machine": a.task.machine,
+            "kind": a.task.kind,
+            "requested_algorithm": a.task.algorithm,
+            "algorithm": last["algorithm"],
+            "status": status,
+            "attempts": a.attempts,
+            "retries": len(a.attempts) - 1,
+            "record": record,
+            "perf": perf or {},
+            "error": error if error is not None else last.get("error"),
+            "elapsed": round(time.monotonic() - a.task_t0, 6),
+        }
+        journal.append(entry)
+        detail = ""
+        if status == "failed":
+            kinds = [at["killed"] or at["status"] for at in a.attempts]
+            detail = f" ({' -> '.join(kinds)})"
+        elif len(a.attempts) > 1:
+            detail = f" (after {len(a.attempts) - 1} retries)"
+        self.progress(f"{a.task.task_id}: {status}{detail}")
+
+
+class _FailFast(Exception):
+    """Internal control flow: first final failure under --fail-fast."""
+
+
+# ----------------------------------------------------------------------
+# task-list builders
+# ----------------------------------------------------------------------
+def tasks_for_benchmarks(subset: str, algorithm: str = "ihybrid",
+                         options: Optional[Dict] = None,
+                         timeout: Optional[float] = None) -> List[BatchTask]:
+    """Encode tasks for a builtin benchmark subset.
+
+    Per-machine effort mirrors the serial table harness
+    (:func:`repro.eval.tables.run`): heavyweight machines get
+    ``effort="low"`` unless the caller pinned an effort explicitly.
+    """
+    from repro.fsm.benchmarks import benchmark_names, is_low_effort
+
+    tasks = []
+    for name in benchmark_names(subset):
+        opts = dict(options or {})
+        opts.setdefault("effort", "low" if is_low_effort(name) else "full")
+        if timeout is not None:
+            # cooperative in-worker deadline, under the hard kill
+            opts.setdefault("timeout", timeout)
+        tasks.append(BatchTask(machine=name, algorithm=algorithm,
+                               options=opts))
+    return tasks
+
+
+def tasks_for_kiss_dir(path: Union[str, Path], algorithm: str = "ihybrid",
+                       options: Optional[Dict] = None,
+                       timeout: Optional[float] = None) -> List[BatchTask]:
+    """Encode tasks for every ``*.kiss``/``*.kiss2`` file under *path*."""
+    root = Path(path)
+    files = sorted(p for ext in ("*.kiss", "*.kiss2")
+                   for p in root.rglob(ext))
+    if not files:
+        raise FileNotFoundError(f"no .kiss/.kiss2 files under {root}")
+    tasks = []
+    for p in files:
+        opts = dict(options or {})
+        if timeout is not None:
+            opts.setdefault("timeout", timeout)
+        tasks.append(BatchTask(machine=str(p), algorithm=algorithm,
+                               options=opts))
+    return tasks

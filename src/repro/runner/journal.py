@@ -1,0 +1,162 @@
+"""Durable run state: the results journal and the run manifest.
+
+A batch run directory holds exactly two files the engine owns:
+
+``results.jsonl``
+    Append-only journal, one JSON object per *completed* task (success,
+    degraded, or finally-failed after retries).  Only the parent
+    process writes it; each line is followed by ``flush()`` +
+    ``os.fsync()`` so a line either exists completely or (if the
+    process dies mid-write) is a recognizable truncated tail — never a
+    silently half-applied state.
+
+``manifest.json``
+    The run's configuration and full task list, written atomically via
+    a temp file + ``os.replace`` so readers never observe a partial
+    manifest.  ``--resume RUN_DIR`` rebuilds the exact task set from it
+    and skips every task id already journaled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+RESULTS_NAME = "results.jsonl"
+MANIFEST_NAME = "manifest.json"
+
+
+class JournalError(Exception):
+    """The journal is corrupt beyond the tolerated truncated tail."""
+
+
+class Journal:
+    """Append-only, fsync'd JSONL writer (parent process only)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: Dict) -> None:
+        """Write one record durably: the line is on disk when we return."""
+        # insertion order is kept so table rows read back with their
+        # columns in the order the producer built them
+        line = json.dumps(record, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalReadResult:
+    """What :func:`read_results` recovered from a journal file."""
+
+    records: List[Dict] = field(default_factory=list)
+    truncated_tail: Optional[str] = None  # raw partial final line, if any
+    truncated_tail_removed: bool = False  # set by :func:`repair`
+
+    @property
+    def task_ids(self) -> List[str]:
+        return [r["task"] for r in self.records if "task" in r]
+
+
+def read_results(path: Union[str, Path]) -> JournalReadResult:
+    """Load a journal, tolerating a truncated final line.
+
+    Because every complete line was fsync'd before the next began, the
+    only corruption a crash can leave is a partial *last* line; it is
+    reported (not silently dropped) via ``truncated_tail``.  A
+    malformed line anywhere else means outside interference and raises
+    :class:`JournalError`.
+    """
+    path = Path(path)
+    result = JournalReadResult()
+    if not path.exists():
+        return result
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    # a well-formed journal ends with "\n", so the final split item is ""
+    complete, tail = lines[:-1], lines[-1]
+    for i, line in enumerate(complete):
+        if not line.strip():
+            continue
+        try:
+            result.records.append(json.loads(line))
+        except ValueError as exc:
+            raise JournalError(
+                f"{path}: corrupt journal line {i + 1}: {exc}") from exc
+    if tail.strip():
+        try:
+            # no trailing newline, but the JSON itself may be complete
+            # (crash between write() and the "\n" reaching the page cache)
+            result.records.append(json.loads(tail))
+        except ValueError:
+            result.truncated_tail = tail
+    return result
+
+
+def repair(path: Union[str, Path]) -> JournalReadResult:
+    """Load a journal *and* make it safe to append to again.
+
+    A crash can leave the file either with a torn final line (truncate
+    it away — its task will simply re-run) or with a complete final
+    record missing only its newline (add the newline).  Without this,
+    the first append of a resumed run would glue onto the tail and turn
+    a recognizable truncation into mid-file garbage.
+    """
+    result = read_results(path)
+    path = Path(path)
+    if result.truncated_tail is not None:
+        raw = path.read_bytes()
+        keep = len(raw) - len(result.truncated_tail.encode("utf-8"))
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+        result.truncated_tail_removed = True
+    else:
+        raw = path.read_bytes() if path.exists() else b""
+        if raw and not raw.endswith(b"\n"):
+            with open(path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+    return result
+
+
+def write_manifest(run_dir: Union[str, Path], manifest: Dict) -> Path:
+    """Atomically (re)write ``manifest.json`` in *run_dir*."""
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    final = run_dir / MANIFEST_NAME
+    tmp = run_dir / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    return final
+
+
+def read_manifest(run_dir: Union[str, Path]) -> Dict:
+    path = Path(run_dir) / MANIFEST_NAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path}: not a batch run directory (no {MANIFEST_NAME})")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

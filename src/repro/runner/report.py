@@ -1,0 +1,124 @@
+"""Aggregation of a batch run's journal into one report.
+
+The report is computed from journal entries alone — never from
+in-memory state — so an uninterrupted run, a resumed run, and a later
+``read_results`` of the same directory all produce the identical
+summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.perf import PerfStats
+
+
+@dataclass
+class BatchReport:
+    """Fleet-level outcome of one batch run."""
+
+    run_dir: Optional[Path] = None
+    planned: int = 0
+    entries: List[Dict] = field(default_factory=list)
+    status_counts: Counter = field(default_factory=Counter)
+    retries: int = 0
+    kill_reasons: Counter = field(default_factory=Counter)
+    crashes: int = 0
+    fallback_events: int = 0
+    verified: int = 0
+    task_seconds: float = 0.0  # summed per-task wall clock
+    wall_seconds: float = 0.0  # parent wall clock for this invocation
+    interrupted: bool = False
+    perf: PerfStats = field(default_factory=PerfStats)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self.entries)
+
+    @property
+    def failed(self) -> int:
+        return self.status_counts.get("failed", 0)
+
+    @property
+    def ok(self) -> bool:
+        """Every planned task journaled, none finally failed."""
+        return (not self.interrupted and self.failed == 0
+                and self.completed >= self.planned)
+
+    def records(self) -> List[Dict]:
+        """The per-task result payloads of successful entries."""
+        return [e["record"] for e in self.entries
+                if e.get("record") is not None]
+
+    def rows(self) -> List[Dict]:
+        """Table rows from ``kind="table"`` entries (per-row provenance
+        stays in the journal; this is just the payload)."""
+        return [e["record"]["row"] for e in self.entries
+                if e.get("kind") == "table" and e.get("record")]
+
+    def entry_for(self, task_id: str) -> Optional[Dict]:
+        for e in self.entries:
+            if e.get("task") == task_id:
+                return e
+        return None
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Multi-line human rendering, one screen even for big fleets."""
+        lines = [
+            f"batch: {self.completed}/{self.planned} tasks journaled "
+            f"in {self.wall_seconds:.1f}s"
+            + (" [interrupted]" if self.interrupted else ""),
+        ]
+        counts = ", ".join(f"{k}={v}"
+                           for k, v in sorted(self.status_counts.items()))
+        lines.append(f"  status : {counts or 'nothing ran'}")
+        if self.retries or self.kill_reasons or self.crashes:
+            kills = ", ".join(f"{k}={v}" for k, v in
+                              sorted(self.kill_reasons.items())) or "none"
+            lines.append(f"  retries: {self.retries}  kills: {kills}  "
+                         f"crashes: {self.crashes}")
+        if self.fallback_events:
+            lines.append(f"  in-process fallbacks: {self.fallback_events}")
+        if self.verified:
+            lines.append(f"  verified encodings: {self.verified}")
+        if self.task_seconds:
+            speedup = (self.task_seconds / self.wall_seconds
+                       if self.wall_seconds > 0 else 0.0)
+            lines.append(f"  task time: {self.task_seconds:.1f}s "
+                         f"(parallel speedup {speedup:.1f}x)")
+        slow = sorted(self.entries, key=lambda e: -e.get("elapsed", 0.0))[:3]
+        for e in slow:
+            if e.get("elapsed", 0.0) > 0:
+                lines.append(f"  slowest: {e['task']} "
+                             f"{e['elapsed']:.1f}s [{e['status']}]")
+        return "\n".join(lines)
+
+
+def aggregate(entries: List[Dict], run_dir: Optional[Path] = None,
+              wall_seconds: float = 0.0, planned: int = 0,
+              interrupted: bool = False) -> BatchReport:
+    """Fold journal *entries* into a :class:`BatchReport`."""
+    report = BatchReport(run_dir=run_dir, planned=planned or len(entries),
+                         wall_seconds=wall_seconds, interrupted=interrupted)
+    for e in entries:
+        report.entries.append(e)
+        report.status_counts[e.get("status", "unknown")] += 1
+        report.retries += e.get("retries", 0)
+        report.task_seconds += e.get("elapsed", 0.0)
+        for attempt in e.get("attempts", []):
+            if attempt.get("killed"):
+                report.kill_reasons[attempt["killed"]] += 1
+            elif attempt.get("status") == "crashed":
+                report.crashes += 1
+        record = e.get("record") or {}
+        rep = record.get("report") or {}
+        report.fallback_events += len(rep.get("fallbacks", []))
+        if rep.get("verified"):
+            report.verified += 1
+        report.perf.merge(e.get("perf") or {})
+    return report

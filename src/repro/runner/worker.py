@@ -1,0 +1,104 @@
+"""The child-process half of the batch runner.
+
+Each task attempt runs in a freshly spawned process whose entry point
+is :func:`child_main`.  The worker rebuilds the task from its JSON-safe
+spec, arms any injected faults (the parent ships
+:meth:`repro.testing.faults.Fault.to_dict` specs inside the task, which
+is how the hang/crash robustness tests reach across the process
+boundary), runs the pipeline under a perf collector, and ships one
+JSON-safe outcome dict back over the pipe:
+
+``{"status": "ok" | "degraded" | "error", "record": ..., "perf": ...,
+"error": ..., "elapsed": ...}``
+
+Everything crossing the pipe is primitives — no FSM, no covers — so
+transport can never hit a pickling edge case.  If the process dies
+without sending (a hard hang killed by the parent, an ``os._exit``, a
+real segfault or OOM kill), the parent observes EOF/exit and classifies
+the attempt itself; the journal is written only by the parent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro import perf
+from repro.errors import ReproError, error_to_dict
+from repro.testing import faults
+
+
+def _load_fsm(machine: str):
+    """A benchmark machine by name, or a KISS2 file by path."""
+    from repro.fsm.benchmarks import benchmark, benchmark_names
+    from repro.fsm.kiss import parse_kiss
+    from pathlib import Path
+
+    if machine in benchmark_names("all"):
+        return benchmark(machine)
+    path = Path(machine)
+    return parse_kiss(path.read_text(), name=path.stem)
+
+
+def execute(spec: Dict) -> Dict:
+    """Run one task attempt in this process; return the outcome dict."""
+    t0 = time.perf_counter()
+    fault_specs = spec.get("faults") or []
+    if fault_specs:
+        faults.arm(*[faults.Fault.from_dict(d) for d in fault_specs])
+    outcome: Dict = {"task": spec["task"], "algorithm": spec["algorithm"]}
+    with perf.collect() as stats:
+        try:
+            if spec.get("kind") == "table":
+                outcome.update(_run_table(spec))
+            else:
+                outcome.update(_run_encode(spec))
+        except ReproError as exc:
+            outcome.update(status="error", error=error_to_dict(exc))
+        except Exception as exc:  # non-taxonomy bug: still transportable
+            outcome.update(status="error", error=error_to_dict(exc))
+    outcome["perf"] = {k: v for k, v in stats.as_dict().items() if v}
+    outcome["elapsed"] = round(time.perf_counter() - t0, 6)
+    return outcome
+
+
+def _run_encode(spec: Dict) -> Dict:
+    from repro.encoding.nova import encode_fsm
+
+    fsm = _load_fsm(spec["machine"])
+    options = dict(spec.get("options") or {})
+    result = encode_fsm(fsm, spec["algorithm"], **options)
+    report = result.report
+    status = "degraded" if (report is not None and report.degraded) else "ok"
+    return {"status": status, "record": result.to_record()}
+
+
+def _run_table(spec: Dict) -> Dict:
+    from repro.eval import tables
+
+    row_fn = getattr(tables, f"table{spec['table']}_row", None)
+    if row_fn is None:
+        raise ValueError(f"no table {spec['table']!r}")
+    row = row_fn(spec["machine"])
+    return {"status": "ok", "record": {"row": row}}
+
+
+def child_main(spec: Dict, conn) -> None:
+    """Spawned-process entry: execute and ship the outcome.
+
+    Must stay exception-proof: any error that escapes ``execute`` is
+    itself serialized, and a send failure (parent already gone) exits
+    quietly — an orphan must never corrupt anything.
+    """
+    try:
+        try:
+            outcome = execute(spec)
+        except BaseException as exc:  # pragma: no cover - belt & braces
+            outcome = {"task": spec.get("task"),
+                       "algorithm": spec.get("algorithm"),
+                       "status": "error", "error": error_to_dict(exc),
+                       "perf": {}, "elapsed": 0.0}
+        conn.send(outcome)
+        conn.close()
+    except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
+        pass

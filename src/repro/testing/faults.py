@@ -26,24 +26,37 @@ The plan records every firing in ``plan.fired`` for assertions.
 
 from __future__ import annotations
 
+import builtins
+import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
 
-from repro.errors import ReproError
+from repro.errors import ERROR_CLASSES, ReproError
 
 #: Stage names with a trip site in the pipeline, in pipeline order.
 STAGES = ("parse", "mv_min", "encode", "minimize", "verify")
 
+#: What a firing fault does: raise its exception, hang the process
+#: (``sleep`` — models a stuck C-level loop the cooperative Budget
+#: cannot interrupt), or die without cleanup (``exit`` via
+#: ``os._exit`` — models an OOM kill or a segfault).
+ACTIONS = ("raise", "sleep", "exit")
+
 
 @dataclass
 class Fault:
-    """One planned failure: raise *exc* when *stage* trips.
+    """One planned failure: act when *stage* trips.
 
     ``match`` restricts firing to trips whose context carries equal
     values for every key (e.g. ``{"algorithm": "ihybrid"}``); keys the
     trip site does not report never match.  ``times`` bounds how often
-    the fault fires (``None`` = every matching trip).
+    the fault fires (``None`` = every matching trip).  ``action``
+    selects what firing does (see :data:`ACTIONS`): ``raise`` (the
+    default) raises ``exc``; ``sleep`` blocks for ``seconds`` and then
+    returns, planting a hang; ``exit`` terminates the process
+    immediately with ``exit_code``, bypassing all cleanup.
     """
 
     stage: str
@@ -51,15 +64,53 @@ class Fault:
     match: Dict[str, str] = field(default_factory=dict)
     times: Optional[int] = None
     fired: int = 0
+    action: str = "raise"
+    seconds: float = 0.0
+    exit_code: int = 9
 
     def __post_init__(self) -> None:
         if self.stage not in STAGES:
             raise ValueError(f"unknown fault stage {self.stage!r}; "
                              f"choose from {STAGES}")
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; "
+                             f"choose from {ACTIONS}")
         if self.exc is None:
             from repro.errors import BudgetExhausted
 
             self.exc = BudgetExhausted
+
+    # -- cross-process transport ---------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe spec; :meth:`from_dict` rebuilds it in a worker."""
+        exc = self.exc if isinstance(self.exc, type) else type(self.exc)
+        return {
+            "stage": self.stage,
+            "exc": exc.__name__,
+            "match": dict(self.match),
+            "times": self.times,
+            "action": self.action,
+            "seconds": self.seconds,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict) -> "Fault":
+        """Rebuild a fault from :meth:`to_dict` output (exception classes
+        resolve by name from the taxonomy, then from builtins)."""
+        name = spec.get("exc", "BudgetExhausted")
+        exc = ERROR_CLASSES.get(name) or getattr(builtins, name, None)
+        if not (isinstance(exc, type) and issubclass(exc, BaseException)):
+            raise ValueError(f"unknown fault exception {name!r}")
+        return cls(
+            stage=spec["stage"],
+            exc=exc,
+            match=dict(spec.get("match") or {}),
+            times=spec.get("times"),
+            action=spec.get("action", "raise"),
+            seconds=float(spec.get("seconds", 0.0)),
+            exit_code=int(spec.get("exit_code", 9)),
+        )
 
     def matches(self, stage: str, context: Dict[str, str]) -> bool:
         if stage != self.stage:
@@ -90,6 +141,11 @@ class FaultPlan:
             if fault.matches(stage, context):
                 fault.fired += 1
                 self.fired.append((stage, dict(context)))
+                if fault.action == "sleep":
+                    time.sleep(fault.seconds)
+                    continue
+                if fault.action == "exit":
+                    os._exit(fault.exit_code)
                 raise fault.build(stage, context)
 
 
@@ -103,6 +159,19 @@ def trip(stage: str, **context: str) -> None:
     """Fault-injection site: raise the armed fault for *stage*, if any."""
     if ACTIVE is not None:
         ACTIVE.on_trip(stage, context)
+
+
+def arm(*faults: Fault) -> FaultPlan:
+    """Install *faults* for the rest of the process (no scoping).
+
+    Used by batch-runner workers, whose whole process is one task: the
+    parent ships fault specs (see :meth:`Fault.to_dict`) in the task
+    and the worker arms them before running the pipeline.
+    """
+    global ACTIVE
+    plan = FaultPlan(list(faults))
+    ACTIVE = plan
+    return plan
 
 
 @contextmanager

@@ -1,5 +1,7 @@
 """Tests for the error taxonomy and the Budget exhaustion semantics."""
 
+import json
+import pickle
 import time
 
 import pytest
@@ -11,9 +13,21 @@ from repro.errors import (
     ParseError,
     ReproError,
     VerificationError,
+    error_from_dict,
+    error_to_dict,
     exit_code_for,
 )
 from repro.perf.budget import Budget, BudgetExceeded
+
+
+class StrictError(ReproError):
+    """Test double with an extra *required* positional parameter — the
+    shape that breaks ``BaseException``'s default pickling (it replays
+    ``cls(*args)`` with only the original ``args``)."""
+
+    def __init__(self, message, code, **context):
+        super().__init__(message, **context)
+        self.code = code
 
 
 class TestTaxonomy:
@@ -55,6 +69,69 @@ class TestTaxonomy:
     def test_budget_exceeded_is_an_alias(self):
         # historical name still works at every catch site
         assert BudgetExceeded is BudgetExhausted
+
+
+#: One fully-loaded instance per taxonomy class, for transport tests.
+LOADED = [
+    ReproError("base", stage="encode", machine="dk16", elapsed=1.5),
+    ParseError("bad row", line=7, token="xyz", stage="parse"),
+    ConstraintError("cycle", stage="mv_min", machine="lion"),
+    BudgetExhausted("over", limit="work", work=11, max_work=10,
+                    stage="iexact"),
+    EncodingInfeasible("no embedding", stage="encode", machine="dk27"),
+    VerificationError("mismatch", mismatches=["a", "b"], stage="verify"),
+]
+
+
+class TestPickleTransport:
+    """Exceptions must survive ``multiprocessing`` result transport."""
+
+    @pytest.mark.parametrize("exc", LOADED,
+                             ids=lambda e: type(e).__name__)
+    def test_round_trip_preserves_class_and_context(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+        assert clone.__dict__ == exc.__dict__
+
+    def test_subclass_with_required_init_arg(self):
+        """The documented failure mode: extra required ``__init__``
+        parameters must not break transport."""
+        exc = StrictError("boom", 42, stage="encode")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is StrictError
+        assert clone.code == 42
+        assert clone.stage == "encode"
+        assert str(clone) == str(exc)
+
+
+class TestJsonTransport:
+    """The journal stores errors as JSON, not pickles."""
+
+    @pytest.mark.parametrize("exc", LOADED,
+                             ids=lambda e: type(e).__name__)
+    def test_round_trip_through_json(self, exc):
+        d = json.loads(json.dumps(error_to_dict(exc)))
+        clone = error_from_dict(d)
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+
+    def test_rendered_form_is_kept(self):
+        d = error_to_dict(BudgetExhausted("over", limit="work", work=2,
+                                          max_work=1))
+        assert d["rendered"] == "over [work=2/1]"
+
+    def test_non_taxonomy_errors_are_representable(self):
+        d = error_to_dict(ValueError("plain"))
+        assert d["type"] == "ValueError"
+        clone = error_from_dict(d)
+        assert isinstance(clone, ReproError)
+        assert "ValueError" in str(clone)
+
+    def test_unknown_type_degrades_to_base(self):
+        clone = error_from_dict({"type": "FutureError", "message": "x"})
+        assert type(clone) is ReproError
+        assert "FutureError" in str(clone)
 
 
 class TestBudget:

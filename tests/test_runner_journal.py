@@ -1,0 +1,124 @@
+"""Durability of the batch journal and the run manifest."""
+
+import json
+import os
+
+import pytest
+
+from repro.runner.journal import (
+    Journal,
+    JournalError,
+    read_manifest,
+    read_results,
+    repair,
+    write_manifest,
+)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a", "status": "ok", "area": 88})
+            j.append({"task": "b", "status": "failed"})
+        loaded = read_results(path)
+        assert loaded.task_ids == ["a", "b"]
+        assert loaded.records[0]["area"] == 88
+        assert loaded.truncated_tail is None
+
+    def test_append_is_durable_per_line(self, tmp_path):
+        """Each line must be on disk before append() returns."""
+        path = tmp_path / "results.jsonl"
+        j = Journal(path)
+        j.append({"task": "a"})
+        # read through a second handle *without* closing the writer:
+        # flush+fsync already published the line
+        assert read_results(path).task_ids == ["a"]
+        j.close()
+
+    def test_truncated_tail_is_tolerated_and_reported(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a"})
+            j.append({"task": "b"})
+        # simulate a crash mid-write of the third line
+        with open(path, "a") as fh:
+            fh.write('{"task": "c", "stat')
+        loaded = read_results(path)
+        assert loaded.task_ids == ["a", "b"]
+        assert loaded.truncated_tail == '{"task": "c", "stat'
+
+    def test_complete_final_line_without_newline_still_loads(self, tmp_path):
+        """Crash between the payload and the trailing newline: the JSON
+        is whole, so the record must not be discarded."""
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a"})
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"task": "b"}))  # no "\n"
+        loaded = read_results(path)
+        assert loaded.task_ids == ["a", "b"]
+        assert loaded.truncated_tail is None
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"task": "a"}\nGARBAGE\n{"task": "b"}\n')
+        with pytest.raises(JournalError):
+            read_results(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        loaded = read_results(tmp_path / "nope.jsonl")
+        assert loaded.records == [] and loaded.truncated_tail is None
+
+    def test_repair_truncates_torn_tail_so_appends_stay_clean(self,
+                                                              tmp_path):
+        """Without repair, resume's first append would glue onto the
+        torn tail and turn it into mid-file garbage."""
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a"})
+        with open(path, "a") as fh:
+            fh.write('{"task": "b", "stat')  # torn
+        repaired = repair(path)
+        assert repaired.task_ids == ["a"]
+        assert repaired.truncated_tail_removed
+        with Journal(path) as j:
+            j.append({"task": "c"})
+        assert read_results(path).task_ids == ["a", "c"]
+
+    def test_repair_adds_missing_final_newline(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a"})
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"task": "b"}))  # complete, no "\n"
+        assert repair(path).task_ids == ["a", "b"]
+        with Journal(path) as j:
+            j.append({"task": "c"})
+        assert read_results(path).task_ids == ["a", "b", "c"]
+
+    def test_repair_of_missing_or_clean_journal_is_a_no_op(self, tmp_path):
+        assert repair(tmp_path / "nope.jsonl").records == []
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a"})
+        before = path.read_bytes()
+        assert repair(path).task_ids == ["a"]
+        assert path.read_bytes() == before
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        write_manifest(tmp_path, {"status": "running", "tasks": []})
+        m = read_manifest(tmp_path)
+        assert m["status"] == "running"
+
+    def test_atomic_replace_leaves_no_tmp(self, tmp_path):
+        write_manifest(tmp_path, {"status": "running"})
+        write_manifest(tmp_path, {"status": "complete"})
+        assert read_manifest(tmp_path)["status"] == "complete"
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+    def test_missing_manifest_is_explicit(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest.json"):
+            read_manifest(tmp_path)
