@@ -11,10 +11,15 @@ Public API highlights:
 * :mod:`repro.fsm` — machines, KISS2 I/O, the benchmark suite;
 * :mod:`repro.encoding` — iexact/ihybrid/igreedy/iohybrid and baselines;
 * :mod:`repro.logic` — the espresso-style two-level/MV minimizer;
-* :mod:`repro.eval` — PLA instantiation, area model, tables harness.
+* :mod:`repro.eval` — PLA instantiation, area model, tables harness;
+* :mod:`repro.cache` — the content-addressed encode result cache;
+* :mod:`repro.api` — the stable facade these names are mirrored from.
 """
 
+from repro._version import __version__
+from repro.cache import cache_clear, cache_info, cache_prune
 from repro.encoding.nova import ALGORITHMS, NovaResult, RunReport, encode_fsm
+from repro.encoding.options import EncodeOptions
 from repro.errors import (
     BudgetExhausted,
     ConstraintError,
@@ -27,13 +32,15 @@ from repro.fsm.benchmarks import benchmark, benchmark_names
 from repro.fsm.kiss import parse_kiss, to_kiss
 from repro.fsm.machine import FSM, Transition
 
-__version__ = "1.1.0"
-
 __all__ = [
     "ALGORITHMS",
+    "EncodeOptions",
     "NovaResult",
     "RunReport",
     "encode_fsm",
+    "cache_info",
+    "cache_clear",
+    "cache_prune",
     "ReproError",
     "ParseError",
     "ConstraintError",

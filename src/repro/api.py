@@ -1,0 +1,75 @@
+"""The stable public API of the NOVA reproduction.
+
+Import from here (or from the :mod:`repro` package root, which mirrors
+this module) rather than from internal modules: everything re-exported
+below is covered by the compatibility policy in README §Versioning —
+stable within a major version, with deprecations announced one minor
+release ahead (``encode_fsm(rng=...)`` is the current example).
+
+Internal module paths (``repro.encoding.nova``, ``repro.logic.*``, ...)
+may move without notice; these names will not.
+
+>>> from repro.api import EncodeOptions, encode_fsm, benchmark
+>>> result = encode_fsm(benchmark("lion"),
+...                     options=EncodeOptions(algorithm="ihybrid"))
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.cache import cache_clear, cache_info, cache_prune
+from repro.encoding.nova import (
+    ALGORITHMS,
+    FALLBACK_CHAIN,
+    NovaResult,
+    RunReport,
+    encode_fsm,
+)
+from repro.encoding.options import (
+    CACHE_POLICIES,
+    EFFORTS,
+    EncodeOptions,
+)
+from repro.errors import (
+    BudgetExhausted,
+    ConstraintError,
+    EncodingInfeasible,
+    ParseError,
+    ReproError,
+    VerificationError,
+)
+from repro.fsm.benchmarks import benchmark, benchmark_names
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.fsm.machine import FSM, Transition
+
+__all__ = [
+    # pipeline
+    "encode_fsm",
+    "EncodeOptions",
+    "NovaResult",
+    "RunReport",
+    "ALGORITHMS",
+    "CACHE_POLICIES",
+    "EFFORTS",
+    "FALLBACK_CHAIN",
+    # cache controls
+    "cache_info",
+    "cache_clear",
+    "cache_prune",
+    # machines
+    "FSM",
+    "Transition",
+    "parse_kiss",
+    "to_kiss",
+    "benchmark",
+    "benchmark_names",
+    # error taxonomy
+    "ReproError",
+    "ParseError",
+    "ConstraintError",
+    "BudgetExhausted",
+    "EncodingInfeasible",
+    "VerificationError",
+    # meta
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""Content-addressed result cache for the encode pipeline.
+
+The pipeline is deterministic for a fixed (machine, options, version)
+tuple, so whole-pipeline results can be memoized under one SHA-256
+fingerprint (:mod:`repro.cache.fingerprint`).  Two tiers back the
+lookup (:mod:`repro.cache.store`): an in-process LRU for loops that
+re-encode the same machine, and an on-disk blob store shared by every
+process on the host — including the batch runner's spawned workers.
+
+Policy resolution
+-----------------
+:func:`get_cache` maps an :class:`~repro.encoding.options.EncodeOptions`
+``cache`` policy to a live cache (or ``None``):
+
+* ``"off"`` — no cache at all;
+* ``"memory"`` — the in-process LRU only, nothing touches disk;
+* ``"on"`` — both tiers, rooted at :func:`cache_dir`;
+* ``"auto"`` (the default) — follows the environment: ``NOVA_CACHE``
+  set to ``0``/``off``/``false``/``no`` disables, ``memory`` keeps the
+  LRU only, anything else (including unset) enables both tiers.
+
+Environment
+-----------
+``NOVA_CACHE``           policy for ``auto`` (see above)
+``NOVA_CACHE_DIR``       disk-tier root (default ``~/.cache/nova``)
+``NOVA_CACHE_MAX_BYTES`` disk-tier prune budget (default 256 MiB)
+
+The module-level :func:`cache_info` / :func:`cache_clear` /
+:func:`cache_prune` back both the ``nova cache`` CLI and the
+:mod:`repro.api` facade.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.cache.codec import (
+    CacheDecodeError,
+    PAYLOAD_VERSION,
+    decode_result,
+    encode_result,
+)
+from repro.cache.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    canonical_fsm,
+    canonical_options,
+    fingerprint,
+)
+from repro.cache.store import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MEMORY_ENTRIES,
+    DiskStore,
+    EncodeCache,
+    MemoryLRU,
+)
+
+__all__ = [
+    "CacheDecodeError",
+    "DiskStore",
+    "EncodeCache",
+    "MemoryLRU",
+    "FINGERPRINT_SCHEMA",
+    "PAYLOAD_VERSION",
+    "cache_clear",
+    "cache_dir",
+    "cache_info",
+    "cache_prune",
+    "canonical_fsm",
+    "canonical_options",
+    "decode_result",
+    "encode_result",
+    "fingerprint",
+    "get_cache",
+    "reset",
+    "resolve_policy",
+]
+
+_OFF_VALUES = ("0", "off", "false", "no")
+
+
+def cache_dir() -> Path:
+    """The disk-tier root: ``$NOVA_CACHE_DIR`` or ``~/.cache/nova``."""
+    env = os.environ.get("NOVA_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "nova"
+
+
+def _max_bytes() -> int:
+    try:
+        return int(os.environ["NOVA_CACHE_MAX_BYTES"])
+    except (KeyError, ValueError):
+        return DEFAULT_MAX_BYTES
+
+
+def resolve_policy(policy: str = "auto") -> str:
+    """Collapse ``auto`` against the environment; returns on/off/memory."""
+    if policy != "auto":
+        return policy
+    env = os.environ.get("NOVA_CACHE", "").strip().lower()
+    if env in _OFF_VALUES:
+        return "off"
+    if env == "memory":
+        return "memory"
+    return "on"
+
+
+# One live cache per (policy, root) so every encode_fsm call in a
+# process shares the same memory tier and hit/miss counters.  The disk
+# tier holds no open handles, so instances are cheap to keep around
+# even when NOVA_CACHE_DIR changes mid-process (tests do this).
+_CACHES: Dict[tuple, EncodeCache] = {}
+
+
+def get_cache(policy: str = "auto") -> Optional[EncodeCache]:
+    """The shared :class:`EncodeCache` for *policy*, or ``None`` (off)."""
+    effective = resolve_policy(policy)
+    if effective == "off":
+        return None
+    if effective == "memory":
+        key = ("memory", None)
+        if key not in _CACHES:
+            _CACHES[key] = EncodeCache(disk=None)
+        return _CACHES[key]
+    root = cache_dir()
+    key = ("on", str(root))
+    cache = _CACHES.get(key)
+    if cache is None:
+        cache = EncodeCache(DiskStore(root, max_bytes=_max_bytes()))
+        _CACHES[key] = cache
+    else:
+        cache.disk.max_bytes = _max_bytes()
+    return cache
+
+
+def reset() -> None:
+    """Drop every live cache instance (counters and memory tiers).
+
+    Test isolation hook: nothing on disk is touched, but the next
+    :func:`get_cache` re-reads the environment and starts cold.
+    """
+    _CACHES.clear()
+
+
+# ----------------------------------------------------------------------
+# module-level controls (the ``nova cache`` CLI and repro.api facade)
+# ----------------------------------------------------------------------
+def cache_info() -> Dict:
+    """Counters and disk usage of the two-tier cache, JSON-safe.
+
+    Disk-tier fields (``dir``/``entries``/``bytes``/``max_bytes``) are
+    flattened to the top level so ``nova cache info`` output is a single
+    simple JSON object.
+    """
+    cache = get_cache("on")
+    out = cache.info()
+    disk = out.pop("disk", None) or {}
+    out.update(disk)
+    return out
+
+
+def cache_clear() -> Dict:
+    """Empty both tiers; returns ``{"removed": N}`` (disk blobs)."""
+    cache = get_cache("on")
+    return {"removed": cache.clear()["disk_removed"]}
+
+
+def cache_prune(max_bytes: Optional[int] = None) -> Dict:
+    """Prune the disk tier to *max_bytes* (default: the configured cap)."""
+    cache = get_cache("on")
+    if cache.disk is None:  # pragma: no cover - "on" always has a disk
+        return {"removed": 0, "removed_bytes": 0, "bytes": 0}
+    return cache.disk.prune(max_bytes)

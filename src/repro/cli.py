@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from repro.encoding.nova import ALGORITHMS, encode_fsm
+from repro.encoding.options import CACHE_POLICIES
 from repro.errors import ReproError, exit_code_for
 from repro.eval import tables
 from repro.fsm.benchmarks import benchmark, benchmark_names
@@ -45,12 +46,15 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         return 2
     result = encode_fsm(fsm, args.algorithm, nbits=args.bits,
                         effort=args.effort, timeout=args.timeout,
-                        fallback=not args.no_fallback)
+                        fallback=not args.no_fallback,
+                        seed=args.seed, cache=args.cache)
     report = result.report
     if report is not None and report.degraded:
         print(f"degraded: {report.summary()}", file=sys.stderr)
     print(f"machine    : {fsm!r}")
     print(f"algorithm  : {result.algorithm}")
+    if report is not None and report.cache_hit:
+        print("cache      : hit")
     print(f"code length: {result.bits} bits")
     print(f"cubes      : {result.cubes}")
     print(f"area       : {result.area}")
@@ -127,7 +131,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             force=args.force,
         )
     else:
-        options = {"effort": args.effort} if args.effort else None
+        options = {}
+        if args.effort:
+            options["effort"] = args.effort
+        if args.cache != "auto":
+            options["cache"] = args.cache
+        options = options or None
         if args.kiss_dir:
             tasks = tasks_for_kiss_dir(args.kiss_dir, args.algorithm,
                                        options, timeout=args.task_timeout)
@@ -154,6 +163,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"journal    : {runner.run_dir / 'results.jsonl'}")
     print(f"resume with: nova batch --resume {runner.run_dir}")
     return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or manage the on-disk encode cache (see README §Caching)."""
+    import json
+
+    from repro import cache
+
+    if args.action == "info":
+        out = cache.cache_info()
+    elif args.action == "clear":
+        out = cache.cache_clear()
+    else:
+        out = cache.cache_prune(args.max_bytes)
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -266,6 +291,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     enc.add_argument("--no-fallback", action="store_true",
                      help="fail (with a taxonomy exit code) instead of "
                           "degrading iexact -> ihybrid -> igreedy -> onehot")
+    enc.add_argument("--seed", type=int, default=None, metavar="N",
+                     help="RNG seed for stochastic algorithms (random); "
+                          "seeded runs are deterministic and cacheable")
+    enc.add_argument("--cache", default="auto", choices=CACHE_POLICIES,
+                     help="result-cache policy: auto follows NOVA_CACHE/"
+                          "NOVA_CACHE_DIR, on forces the two-tier cache, "
+                          "memory keeps only the in-process LRU, off "
+                          "disables lookups and fills")
     enc.set_defaults(func=_cmd_encode)
 
     tab = sub.add_parser("table", help="regenerate a paper table")
@@ -310,9 +343,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     bat.add_argument("--force", action="store_true",
                      help="run even if the manifest records a live batch "
                           "parent for this run directory")
+    bat.add_argument("--cache", default="auto", choices=CACHE_POLICIES,
+                     help="result-cache policy for the workers (the disk "
+                          "tier is shared across processes, so a warm "
+                          "sweep short-circuits every already-encoded "
+                          "task)")
     bat.add_argument("--out", metavar="RUN_DIR",
                      help="run directory (default batch-runs/<timestamp>)")
     bat.set_defaults(func=_cmd_batch)
+
+    cch = sub.add_parser(
+        "cache",
+        help="inspect or manage the encode result cache",
+        description="The two-tier content-addressed encode cache: an "
+                    "in-process LRU over one-JSON-blob-per-key storage "
+                    "under NOVA_CACHE_DIR (default ~/.cache/nova). "
+                    "See README §Caching.")
+    cch.add_argument("action", choices=("info", "clear", "prune"))
+    cch.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                     help="prune target (default: the configured "
+                          "NOVA_CACHE_MAX_BYTES budget)")
+    cch.set_defaults(func=_cmd_cache)
 
     lst = sub.add_parser("list", help="list benchmark machines")
     lst.set_defaults(func=_cmd_list)

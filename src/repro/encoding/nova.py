@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.constraints.input_constraints import (
     ConstraintSet,
@@ -32,6 +33,12 @@ from repro.constraints.input_constraints import (
     extract_input_constraints,
 )
 from repro.encoding.base import Encoding, satisfied_weight
+from repro.encoding.options import (
+    ALGORITHMS,
+    EncodeOptions,
+    UNSET,
+    merge_options,
+)
 from repro.encoding.iexact import iexact_code
 from repro.encoding.igreedy import igreedy_code
 from repro.encoding.ihybrid import HybridStats, ihybrid_code
@@ -49,18 +56,6 @@ from repro.fsm.symbolic_cover import build_symbolic_cover
 from repro.perf.budget import Budget, BudgetExhausted
 from repro.symbolic.symbolic_min import symbolic_minimize
 from repro.testing import faults
-
-ALGORITHMS = (
-    "iexact",
-    "ihybrid",
-    "igreedy",
-    "iohybrid",
-    "iovariant",
-    "kiss",
-    "onehot",
-    "random",
-    "mustang",
-)
 
 #: Degradation order: each algorithm is strictly cheaper and more
 #: robust than its predecessor; ``onehot`` cannot fail.
@@ -115,6 +110,10 @@ class RunReport:
         come from the raw encoded cover.
     timeout:
         The wall-clock allowance this run was given, if any.
+    cache_hit:
+        True when this result was rehydrated from the encode cache
+        instead of recomputed (provenance only — a hit is bit-identical
+        to the recomputation it stands in for).
     """
 
     machine: str
@@ -127,6 +126,7 @@ class RunReport:
     verified: Optional[bool] = None
     unminimized: bool = False
     timeout: Optional[float] = None
+    cache_hit: bool = False
 
     def record_failure(self, algorithm: str, exc: ReproError) -> None:
         self.fallbacks.append(FallbackEvent(
@@ -148,7 +148,8 @@ class RunReport:
     def summary(self) -> str:
         """One line: what degraded and why (or a clean confirmation)."""
         if not self.degraded:
-            return f"{self.machine}: {self.algorithm} ok"
+            via = " (cached)" if self.cache_hit else ""
+            return f"{self.machine}: {self.algorithm} ok{via}"
         path = " -> ".join([e.algorithm for e in self.fallbacks]
                            + [self.algorithm or "?"])
         reason = self.degradation_reason or "degraded"
@@ -168,6 +169,7 @@ class RunReport:
             "verified": self.verified,
             "unminimized": self.unminimized,
             "timeout": self.timeout,
+            "cache_hit": self.cache_hit,
         }
 
     @classmethod
@@ -184,6 +186,7 @@ class RunReport:
             verified=d.get("verified"),
             unminimized=d.get("unminimized", False),
             timeout=d.get("timeout"),
+            cache_hit=d.get("cache_hit", False),
         )
 
 
@@ -512,54 +515,35 @@ def _last_resort(pipe: _Pipeline, evaluate: bool, verify: bool) -> NovaResult:
     )
 
 
-def encode_fsm(
-    fsm: FSM,
-    algorithm: str = "ihybrid",
-    nbits: Optional[int] = None,
-    effort: str = "full",
-    rng: Optional[random.Random] = None,
-    evaluate: bool = True,
-    mustang_option: str = "p",
-    timeout: Optional[float] = None,
-    fallback: bool = True,
-    verify: bool = True,
-) -> NovaResult:
-    """Run the full NOVA pipeline on *fsm* with the chosen algorithm.
-
-    Parameters beyond the paper's: *timeout* bounds the whole run with
-    one wall-clock :class:`Budget` shared by every stage; *fallback*
-    enables the degradation chain (on False, the first failure raises
-    its :class:`~repro.errors.ReproError`); *verify* runs the
-    post-encode verification gate, whose mismatch triggers fallback
-    instead of silently reporting a wrong area.
-    """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; "
-                         f"choose from {ALGORITHMS}")
+def _encode_uncached(fsm: FSM, opts: EncodeOptions,
+                     rng: Optional[random.Random]) -> NovaResult:
+    """The full pipeline run, cache-blind (the pre-1.2 encode_fsm body)."""
     t0 = time.perf_counter()
+    algorithm = opts.algorithm
     report = RunReport(machine=fsm.name, requested_algorithm=algorithm,
-                       timeout=timeout)
-    budget = (Budget(seconds=timeout, stage=algorithm)
-              if timeout is not None else None)
-    pipe = _Pipeline(fsm, effort, report, budget, degrade_ok=fallback)
-    chain = fallback_chain(algorithm) if fallback else (algorithm,)
+                       timeout=opts.timeout)
+    budget = (Budget(seconds=opts.timeout, stage=algorithm)
+              if opts.timeout is not None else None)
+    pipe = _Pipeline(fsm, opts.effort, report, budget,
+                     degrade_ok=opts.fallback)
+    chain = fallback_chain(algorithm) if opts.fallback else (algorithm,)
     result: Optional[NovaResult] = None
     last_exc: Optional[ReproError] = None
     for alg in chain:
         try:
-            result = _attempt(pipe, alg, nbits, rng, evaluate,
-                              mustang_option, verify)
+            result = _attempt(pipe, alg, opts.nbits, rng, opts.evaluate,
+                              opts.mustang_option, opts.verify)
             break
         except ReproError as exc:
             report.record_failure(alg, exc)
             if last_exc is None:
                 last_exc = exc
-            if not fallback:
+            if not opts.fallback:
                 raise
     if result is None:
         # every chain algorithm failed (e.g. the shared extraction
         # stage is down): build the unconditional one-hot result
-        result = _last_resort(pipe, evaluate, verify)
+        result = _last_resort(pipe, opts.evaluate, opts.verify)
     report.algorithm = result.algorithm
     if report.fallbacks and result.algorithm != algorithm:
         report.degraded = True
@@ -568,3 +552,113 @@ def encode_fsm(
             report.degradation_reason = f"{first.error}: {first.reason}"
     result.seconds = time.perf_counter() - t0
     return result
+
+
+def _cached_encode(fsm: FSM, opts: EncodeOptions,
+                   legacy_rng: Optional[random.Random]) -> NovaResult:
+    """Cache lookup → decode → fill around :func:`_encode_uncached`.
+
+    The cache is bypassed entirely (no lookup, no fill) when the run is
+    not a pure function of its fingerprint: a live ``random.Random``
+    was passed (its hidden state is invisible to the key), the options
+    are not :attr:`EncodeOptions.storable` (unseeded ``random``), or a
+    fault plan is armed (:mod:`repro.testing.faults` makes outcomes
+    depend on the plan).  A ``seed``-derived RNG is fine: it is built
+    fresh from the keyed seed right here, so a recompute replays the
+    exact same stream.
+
+    A cooperative ``timeout`` narrows only the *fill* side: a degraded
+    result under a timeout depends on wall-clock (the budget fired at
+    some machine-speed-dependent point), so it is computed and returned
+    but never stored.  A clean result under a timeout is the same pure
+    answer the untimed run would produce and caches normally; the
+    timeout value itself is part of the fingerprint, so differently
+    bounded runs never share an entry.
+    """
+    from repro import cache as cache_mod
+
+    usable = (legacy_rng is None and opts.storable
+              and faults.ACTIVE is None)
+    rng = legacy_rng
+    if rng is None and opts.seed is not None:
+        rng = random.Random(opts.seed)
+    cache = cache_mod.get_cache(opts.cache) if usable else None
+    if cache is None:
+        return _encode_uncached(fsm, opts, rng)
+    key = cache_mod.fingerprint(fsm, opts)
+    payload = cache.get(key)
+    if payload is not None:
+        try:
+            result = cache_mod.decode_result(fsm, payload)
+        except cache_mod.CacheDecodeError:
+            # undecodable blob: quarantine and fall through to recompute
+            cache.invalidate(key)
+        else:
+            if result.report is not None:
+                result.report.cache_hit = True
+            return result
+    result = _encode_uncached(fsm, opts, rng)
+    wallclock_shaped = (opts.timeout is not None
+                        and result.report is not None
+                        and result.report.degraded)
+    if not wallclock_shaped:
+        cache.put(key, cache_mod.encode_result(result))
+    return result
+
+
+def encode_fsm(
+    fsm: FSM,
+    algorithm: Union[str, Any] = UNSET,
+    nbits: Union[Optional[int], Any] = UNSET,
+    effort: Union[str, Any] = UNSET,
+    rng: Union[Optional[random.Random], Any] = UNSET,
+    evaluate: Union[bool, Any] = UNSET,
+    mustang_option: Union[str, Any] = UNSET,
+    timeout: Union[Optional[float], Any] = UNSET,
+    fallback: Union[bool, Any] = UNSET,
+    verify: Union[bool, Any] = UNSET,
+    seed: Union[Optional[int], Any] = UNSET,
+    cache: Union[str, Any] = UNSET,
+    options: Optional[EncodeOptions] = None,
+) -> NovaResult:
+    """Run the full NOVA pipeline on *fsm*.
+
+    The preferred call shape since 1.2 is an options bundle::
+
+        encode_fsm(fsm, options=EncodeOptions(algorithm="iexact"))
+
+    Every historical keyword still works and may be combined with
+    ``options=`` as long as they do not disagree — a keyword that
+    conflicts with a non-default options field raises ``ValueError``
+    (see :func:`repro.encoding.options.merge_options`).
+
+    Parameters beyond the paper's: *timeout* bounds the whole run with
+    one wall-clock :class:`Budget` shared by every stage; *fallback*
+    enables the degradation chain (on False, the first failure raises
+    its :class:`~repro.errors.ReproError`); *verify* runs the
+    post-encode verification gate, whose mismatch triggers fallback
+    instead of silently reporting a wrong area; *seed* pins the RNG of
+    stochastic algorithms; *cache* picks the result-cache policy
+    (``auto``/``on``/``memory``/``off``, see :mod:`repro.cache`).
+
+    ``rng=`` (a live ``random.Random``) is deprecated: it is unhashable,
+    so such runs can never be cached.  Pass ``seed=`` instead.
+    """
+    explicit = {name: value for name, value in (
+        ("algorithm", algorithm), ("nbits", nbits), ("effort", effort),
+        ("evaluate", evaluate), ("mustang_option", mustang_option),
+        ("timeout", timeout), ("fallback", fallback), ("verify", verify),
+        ("seed", seed), ("cache", cache),
+    ) if value is not UNSET}
+    opts = merge_options(options, explicit)
+    legacy_rng: Optional[random.Random] = None
+    if rng is not UNSET and rng is not None:
+        warnings.warn(
+            "encode_fsm(rng=...) is deprecated: a random.Random instance "
+            "cannot participate in cache keys; pass seed=<int> instead",
+            DeprecationWarning, stacklevel=2)
+        if opts.seed is not None:
+            raise ValueError("pass either rng= (deprecated) or seed=, "
+                             "not both")
+        legacy_rng = rng
+    return _cached_encode(fsm, opts, legacy_rng)

@@ -1,0 +1,209 @@
+"""The :class:`EncodeOptions` bundle: every knob of :func:`encode_fsm`.
+
+``encode_fsm`` grew one keyword at a time until its signature carried
+ten loose parameters; this module turns them into a single frozen
+dataclass that can be constructed once, varied with :meth:`replace`,
+hashed into a cache fingerprint, and shipped across process boundaries
+as a plain dict.
+
+Two construction paths coexist:
+
+* the new API — ``encode_fsm(fsm, options=EncodeOptions(...))``;
+* every historical keyword — ``encode_fsm(fsm, "iexact", nbits=4)`` —
+  which :func:`merge_options` folds into an options object.  Passing
+  both is allowed as long as they do not disagree: a keyword may fill a
+  field the options object left at its default (or restate the same
+  value), but a *conflicting* keyword raises ``ValueError`` instead of
+  silently picking a winner.
+
+Stochastic runs are requested with a plain ``seed: int`` — never a
+``random.Random`` instance, which is unhashable and would poison cache
+keys.  The legacy ``rng=`` parameter of ``encode_fsm`` survives as a
+deprecated shim handled by the driver, outside this dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: Every encoding algorithm the driver dispatches on.  Lives here (a
+#: leaf module) so both the driver and the CLI can import it without
+#: pulling the full pipeline.
+ALGORITHMS = (
+    "iexact",
+    "ihybrid",
+    "igreedy",
+    "iohybrid",
+    "iovariant",
+    "kiss",
+    "onehot",
+    "random",
+    "mustang",
+)
+
+EFFORTS = ("full", "low")
+
+#: Cache policies (see :mod:`repro.cache`): ``auto`` follows the
+#: ``NOVA_CACHE``/``NOVA_CACHE_DIR`` environment, ``on`` forces the
+#: two-tier cache, ``memory`` keeps only the in-process LRU, ``off``
+#: disables lookups and fills entirely.
+CACHE_POLICIES = ("auto", "on", "off", "memory")
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit default."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class EncodeOptions:
+    """Immutable, hashable bundle of every :func:`encode_fsm` knob.
+
+    Fields
+    ------
+    algorithm / nbits / effort / mustang_option:
+        What to run: the encoding algorithm, an optional pinned code
+        length, the minimization effort, and (for ``mustang``) which
+        weight heuristic.
+    seed:
+        Integer seed for stochastic algorithms (``random``).  Part of
+        the cache fingerprint: two runs with the same seed are
+        bit-identical, so their shared cache entry is sound.
+    timeout / fallback / verify / evaluate:
+        Run shaping: the cooperative wall-clock budget, the degradation
+        chain switch, the post-encode verification gate, and whether to
+        instantiate + re-minimize the encoded PLA at all.
+    cache:
+        Cache policy for this run (see :data:`CACHE_POLICIES`).  The
+        policy never changes the *result*, only where it comes from, so
+        it is excluded from cache fingerprints.
+    """
+
+    algorithm: str = "ihybrid"
+    nbits: Optional[int] = None
+    effort: str = "full"
+    seed: Optional[int] = None
+    timeout: Optional[float] = None
+    fallback: bool = True
+    verify: bool = True
+    evaluate: bool = True
+    mustang_option: str = "p"
+    cache: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; "
+                             f"choose from {ALGORITHMS}")
+        if self.effort not in EFFORTS:
+            raise ValueError(f"unknown effort {self.effort!r}; "
+                             f"choose from {EFFORTS}")
+        if self.cache not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache policy {self.cache!r}; "
+                             f"choose from {CACHE_POLICIES}")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise TypeError(
+                f"seed must be an int (got {type(self.seed).__name__}); "
+                f"random.Random instances are unhashable and cannot "
+                f"participate in cache keys — pass the integer seed "
+                f"instead")
+        if self.nbits is not None and self.nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {self.nbits}")
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "EncodeOptions":
+        """A copy with *changes* applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict, e.g. for batch task specs and manifests."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "EncodeOptions":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown EncodeOptions fields: "
+                             f"{sorted(unknown)}")
+        return cls(**d)
+
+    # ------------------------------------------------------------------
+    def fingerprint_fields(self) -> Tuple[Tuple[str, Any], ...]:
+        """The (name, value) pairs that participate in cache keys.
+
+        Everything that can change the *result* is included; ``cache``
+        itself is pure policy and excluded.
+        """
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in dataclasses.fields(self)
+            if f.name != "cache"
+        )
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether two runs with these options must agree bit-for-bit.
+
+        The only stochastic path is the ``random`` baseline without a
+        pinned seed; every other algorithm is deterministic for a fixed
+        machine + options tuple.  Non-deterministic runs are never
+        cached (a hit could replay someone else's coin flips).
+        """
+        return not (self.algorithm == "random" and self.seed is None)
+
+    @property
+    def storable(self) -> bool:
+        """Whether runs under these options may use the cache at all.
+
+        Only non-deterministic options (an unseeded ``random`` run) are
+        categorically uncacheable.  A wall-clock ``timeout`` does *not*
+        disqualify the options — the timeout participates in the
+        fingerprint, and the store step additionally refuses any result
+        the budget actually shaped (a degraded run), so only the pure
+        untimed answer ever lands in the cache.
+        """
+        return self.deterministic
+
+
+def merge_options(options: Optional[EncodeOptions],
+                  explicit: Dict[str, Any]) -> EncodeOptions:
+    """Fold explicitly-passed legacy keywords into *options*.
+
+    *explicit* maps field name -> value for keywords the caller actually
+    passed (``UNSET`` entries must be filtered out by the caller).  With
+    no options object the keywords simply construct one.  With both, a
+    keyword may fill a field the options object left at its dataclass
+    default, or restate the same value; a disagreement raises
+    ``ValueError`` naming every conflicting field.
+    """
+    if options is None:
+        return EncodeOptions(**explicit)
+    if not isinstance(options, EncodeOptions):
+        raise TypeError(f"options must be EncodeOptions, "
+                        f"got {type(options).__name__}")
+    defaults = {f.name: f.default for f in dataclasses.fields(EncodeOptions)}
+    merged: Dict[str, Any] = {}
+    conflicts = []
+    for name, value in explicit.items():
+        current = getattr(options, name)
+        if current == value:
+            continue
+        if current == defaults[name]:
+            merged[name] = value
+        else:
+            conflicts.append(
+                f"{name} (options={current!r}, keyword={value!r})")
+    if conflicts:
+        raise ValueError(
+            "conflicting encode_fsm arguments — passed both in options= "
+            "and as a keyword: " + "; ".join(conflicts))
+    return options.replace(**merged) if merged else options

@@ -65,6 +65,9 @@ _COUNTERS = (
     "lastgasp_attempts",    # LASTGASP retries after a non-improving pass
     "lastgasp_wins",        # ... that found a strictly better cover
     "pos_equiv_work",       # backtracking work charged by pos_equiv
+    "cache_hit",            # encode-cache lookups answered from a tier
+    "cache_miss",           # ... that fell through to a full recompute
+    "cache_bytes",          # blob bytes moved to/from the disk tier
 )
 
 

@@ -70,7 +70,8 @@ def _run_encode(spec: Dict) -> Dict:
     result = encode_fsm(fsm, spec["algorithm"], **options)
     report = result.report
     status = "degraded" if (report is not None and report.degraded) else "ok"
-    return {"status": status, "record": result.to_record()}
+    return {"status": status, "record": result.to_record(),
+            "cache_hit": bool(report is not None and report.cache_hit)}
 
 
 def _run_table(spec: Dict) -> Dict:

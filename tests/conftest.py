@@ -43,6 +43,25 @@ def random_cover(fmt: Format, n_cubes: int, rng: random.Random) -> Cover:
     return cover
 
 
+@pytest.fixture(autouse=True)
+def _isolated_encode_cache(monkeypatch):
+    """Keep the suite hermetic: no test reads or writes ~/.cache/nova.
+
+    The default ``auto`` cache policy resolves to the two-tier cache;
+    a warm blob left by one test (or a previous run) would mask real
+    recomputation in the next, so every test runs with ``auto`` -> off
+    and a cleared in-process cache registry.  Cache tests opt back in
+    with an explicit ``cache="on"`` policy plus a tmp NOVA_CACHE_DIR.
+    """
+    from repro import cache
+
+    monkeypatch.setenv("NOVA_CACHE", "off")
+    monkeypatch.delenv("NOVA_CACHE_DIR", raising=False)
+    cache.reset()
+    yield
+    cache.reset()
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)

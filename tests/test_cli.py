@@ -137,3 +137,59 @@ class TestFailureBehavior:
             assert main(["encode", "--benchmark", "bbtas", "--algorithm",
                          "ihybrid", "--no-fallback"]) == 5
         assert "BudgetExhausted" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    """nova cache info|clear|prune and the --cache/--seed encode flags."""
+
+    @pytest.fixture(autouse=True)
+    def _private_cache(self, tmp_path, monkeypatch):
+        from repro import cache
+
+        monkeypatch.setenv("NOVA_CACHE_DIR", str(tmp_path / "nova-cache"))
+        cache.reset()
+        yield
+        cache.reset()
+
+    def test_info_is_json(self, capsys):
+        import json
+
+        assert main(["cache", "info"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["entries"] == 0 and info["bytes"] == 0
+        assert "dir" in info and "max_bytes" in info
+
+    def test_encode_cache_flag_round_trip(self, capsys):
+        assert main(["encode", "--benchmark", "lion", "--cache", "on"]) == 0
+        cold = capsys.readouterr().out
+        assert "cache      : hit" not in cold
+        assert main(["encode", "--benchmark", "lion", "--cache", "on"]) == 0
+        warm = capsys.readouterr().out
+        assert "cache      : hit" in warm
+        # every non-provenance line is identical
+        strip = lambda s: [l for l in s.splitlines()
+                           if not l.startswith(("seconds", "cache "))]
+        assert strip(cold) == strip(warm)
+
+    def test_clear_then_prune(self, capsys):
+        import json
+
+        assert main(["encode", "--benchmark", "lion", "--cache", "on"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
+        assert main(["cache", "clear"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 1
+        assert main(["cache", "prune", "--max-bytes", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 0
+
+    def test_seed_flag(self, capsys):
+        assert main(["encode", "--benchmark", "lion",
+                     "--algorithm", "random", "--seed", "7"]) == 0
+        a = capsys.readouterr().out
+        assert main(["encode", "--benchmark", "lion",
+                     "--algorithm", "random", "--seed", "7"]) == 0
+        b = capsys.readouterr().out
+        strip = lambda s: [l for l in s.splitlines()
+                           if not l.startswith("seconds")]
+        assert strip(a) == strip(b)

@@ -141,10 +141,8 @@ class TestDegradationUnderTinyBudget:
 
     @pytest.mark.parametrize("alg", ALGORITHMS)
     def test_tiny_budget_never_crashes(self, alg):
-        import random
-
         fsm = benchmark("bbtas")
-        r = encode_fsm(fsm, alg, timeout=0.001, rng=random.Random(0))
+        r = encode_fsm(fsm, alg, timeout=0.001, seed=0)
         assert_valid(r, fsm)
         if r.algorithm != alg:
             assert r.report.degraded
@@ -152,11 +150,9 @@ class TestDegradationUnderTinyBudget:
 
     @pytest.mark.parametrize("alg", ALGORITHMS)
     def test_generous_budget_matches_unbudgeted(self, alg):
-        import random
-
         fsm = benchmark("lion")
-        a = encode_fsm(fsm, alg, rng=random.Random(0))
-        b = encode_fsm(fsm, alg, timeout=300.0, rng=random.Random(0))
+        a = encode_fsm(fsm, alg, seed=0)
+        b = encode_fsm(fsm, alg, timeout=300.0, seed=0)
         assert a.algorithm == b.algorithm
         assert a.area == b.area
 
