@@ -14,13 +14,10 @@
 
 import pytest
 
-from repro.constraints.input_constraints import extract_input_constraints
-from repro.encoding.base import satisfied_weight
 from repro.encoding.nova import encode_fsm
 from repro.fsm.benchmarks import benchmark as get_machine
 from repro.fsm.benchmarks import is_low_effort
 from repro.fsm.machine import minimum_code_length
-from repro.fsm.symbolic_cover import build_symbolic_cover
 
 from conftest import note, record, subset_names
 

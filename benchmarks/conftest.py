@@ -20,10 +20,10 @@ pytest-benchmark timings still measure the row computation itself.
 
 from __future__ import annotations
 
-import os
-import shutil
 from collections import defaultdict
+import os
 from pathlib import Path
+import shutil
 from typing import Callable, Dict, List, Sequence
 
 import pytest

@@ -1,0 +1,41 @@
+"""Static analysis for the NOVA pipeline: the ``nova lint`` subsystem.
+
+The package exposes a small, stable surface: the engine entry point
+:func:`lint_paths`, the configuration type :class:`LintConfig` (with
+:func:`default_config` carrying this repository's invariants), and the
+registry machinery for adding rules.  The shipped rules live in
+:mod:`repro.analysis.rules` and self-register on import.
+"""
+
+# importing the rules package populates REGISTRY: each rule module
+# self-registers on import
+from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis.core import (
+    REGISTRY,
+    FileContext,
+    Finding,
+    LintConfig,
+    LintResult,
+    Rule,
+    default_config,
+    instantiate_rules,
+    lint_file,
+    lint_paths,
+    parse_suppressions,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "REGISTRY",
+    "default_config",
+    "instantiate_rules",
+    "lint_file",
+    "lint_paths",
+    "parse_suppressions",
+    "register",
+]

@@ -1,0 +1,492 @@
+"""The ``nova lint`` engine: findings, rules, suppressions, dispatch.
+
+The linter is a thin deterministic pipeline: walk the requested paths,
+parse each ``*.py`` file once with :mod:`ast`, hand the parse to every
+registered rule whose path patterns match, and filter the resulting
+:class:`Finding` stream through the file's suppression comments.
+
+Rules are small classes registered with :func:`register`; each owns one
+invariant id (``NV001``..) and reads its scope (which modules it
+applies to, which helper names are blessed) from a :class:`LintConfig`
+so the same rule code checks both the real tree and the test fixtures.
+
+Suppression syntax, modelled on pylint's::
+
+    do_risky_thing()  # nova-lint: disable=NV003 -- one-shot debug dump
+
+The justification after ``--`` is mandatory: a disable comment without
+one is itself reported (rule ``NV000``), so every suppression in the
+tree documents *why* the invariant does not apply.  A standalone
+suppression comment applies to the next line::
+
+    # nova-lint: disable=NV002 -- generator; consumer charges per item
+    for face in subfaces(region, level):
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+import fnmatch
+import json
+from pathlib import Path
+import re
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+#: Reported for malformed lint directives and unparseable files — the
+#: meta-rule that keeps the other rules honest.
+META_RULE = "NV000"
+
+_RULE_ID = re.compile(r"^NV\d{3}$")
+_DIRECTIVE = re.compile(
+    r"#\s*nova-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# nova-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    standalone: bool  # comment stands alone → applies to the next line
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "all" in self.rules
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Every lint directive in *source*, with its anchor line."""
+    out: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE.search(text)
+        if m is None:
+            continue
+        rules = tuple(r.strip() for r in m.group("rules").split(",")
+                      if r.strip())
+        out.append(Suppression(
+            line=lineno,
+            rules=rules,
+            reason=m.group("reason"),
+            standalone=text.lstrip().startswith("#"),
+        ))
+    return out
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    def finding(self, rule: "Rule", node: Union[ast.AST, int],
+                message: str) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule.id, path=self.display, line=line,
+                       col=col, message=message, severity=rule.severity)
+
+
+# ----------------------------------------------------------------------
+# rule registry
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: one invariant, one id, one ``check`` pass per file."""
+
+    id: str = "NV999"
+    title: str = ""
+    severity: str = "error"
+
+    def patterns(self, config: "LintConfig") -> Optional[Tuple[str, ...]]:
+        """Path patterns this rule applies to; ``None`` = every file."""
+        return config.rule_paths.get(self.id)
+
+    def applies(self, display: str, config: "LintConfig") -> bool:
+        pats = self.patterns(config)
+        return pats is None or path_matches(display, pats)
+
+    def check(self, ctx: FileContext,
+              config: "LintConfig") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID.match(cls.id):
+        raise ValueError(f"bad rule id {cls.id!r}")
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def path_matches(display: str, patterns: Sequence[str]) -> bool:
+    """fnmatch *display* (posix form) against suffix *patterns*.
+
+    Patterns are written relative to the package (``cache/*.py``); a
+    file matches when the pattern matches its path or any suffix of it,
+    so both ``src/repro/cache/store.py`` and a fixture at
+    ``tests/fixtures/lint/bad/cache/store.py`` hit ``cache/*.py``.
+    """
+    posix = Path(display).as_posix()
+    for pat in patterns:
+        if fnmatch.fnmatch(posix, pat) or fnmatch.fnmatch(posix, "*/" + pat):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# configuration: the repo's contracts, in one place
+# ----------------------------------------------------------------------
+@dataclass
+class LintConfig:
+    """Scopes and blessed names consumed by the rules.
+
+    The default instance encodes this repository's invariants; tests
+    construct narrower configs to point rules at fixture trees.
+    """
+
+    #: rule id -> path patterns (suffix fnmatch, see :func:`path_matches`)
+    rule_paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    # --- NV001 ---------------------------------------------------------
+    options_class: str = "EncodeOptions"
+    fingerprint_method: str = "fingerprint_fields"
+    fingerprint_whitelist: str = "NON_FINGERPRINT_FIELDS"
+
+    # --- NV002 ---------------------------------------------------------
+    #: attribute/function names that count as a budget tick
+    budget_calls: Tuple[str, ...] = (
+        "charge", "check_time", "expired", "tick", "_charge",
+    )
+    #: call names cheap enough that a loop of only these needs no tick
+    cheap_calls: Tuple[str, ...] = (
+        # builtins
+        "len", "range", "min", "max", "sum", "abs", "all", "any", "zip",
+        "sorted", "enumerate", "reversed", "isinstance", "hasattr",
+        "getattr", "setattr", "repr", "str", "int", "float", "bool",
+        "round", "iter", "next", "print", "id", "format",
+        # container plumbing
+        "append", "add", "pop", "get", "items", "keys", "values", "sort",
+        "extend", "remove", "insert", "index", "count", "copy", "update",
+        "discard", "clear", "popitem", "move_to_end", "setdefault",
+        "list", "dict", "set", "tuple", "frozenset",
+        # strings
+        "join", "split", "strip", "startswith", "endswith", "replace",
+        # O(1) bit-twiddling on cubes/faces (repro.logic / constraints)
+        "bit_length", "bit_count", "is_empty", "intersects", "contains",
+        "contains_code", "intersect", "minterm_count", "literal",
+        "min_level", "cardinality", "_is_singleton",
+    )
+
+    # --- NV003 ---------------------------------------------------------
+    #: qualified function names allowed to open files for writing
+    atomic_writers: Tuple[str, ...] = (
+        "DiskStore.put",       # tmp + fsync + os.replace
+        "write_manifest",      # tmp + fsync + os.replace
+        "Journal.__init__",    # append-only handle; append() fsyncs
+        "repair",              # in-place truncate/patch + fsync
+    )
+
+    # --- NV004 ---------------------------------------------------------
+    #: exception classes stage modules may raise (plus local subclasses)
+    allowed_raises: Tuple[str, ...] = (
+        "ReproError", "ParseError", "ConstraintError", "BudgetExhausted",
+        "EncodingInfeasible", "VerificationError", "BudgetExceeded",
+        "NotImplementedError", "AssertionError",
+    )
+
+    # --- NV005 ---------------------------------------------------------
+    #: fully-dotted calls that make a result depend on ambient state
+    nondeterministic_calls: Tuple[str, ...] = (
+        "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+        "datetime.today", "datetime.datetime.now",
+        "datetime.datetime.utcnow", "datetime.datetime.today",
+        "date.today", "os.urandom", "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+        "secrets.choice",
+    )
+
+    # --- NV006 ---------------------------------------------------------
+    #: call names allowed in module-level assignments of worker modules
+    spawn_safe_factories: Tuple[str, ...] = (
+        "frozenset", "tuple", "dict", "set", "list", "TypeVar",
+        "namedtuple", "compile",
+    )
+
+
+def default_config() -> LintConfig:
+    """The shipping configuration: this repository's invariants."""
+    return LintConfig(rule_paths={
+        "NV001": ("encoding/options.py",),
+        "NV002": (
+            "encoding/iexact.py",
+            "encoding/ihybrid.py",
+            "logic/espresso.py",
+            "logic/urp.py",
+        ),
+        "NV003": ("cache/*.py", "runner/*.py"),
+        # NV004's bare/broad-except checks run everywhere; the
+        # raise-taxonomy check additionally needs the stage scope below.
+        "NV005": (
+            "encoding/*.py", "logic/*.py", "constraints/*.py",
+            "symbolic/*.py", "fsm/*.py", "cache/*.py", "baselines/*.py",
+        ),
+        "NV006": ("runner/worker.py",),
+        # scope key consumed by NV004 for its raise-taxonomy half
+        "NV004-stages": (
+            "encoding/iexact.py", "encoding/igreedy.py",
+            "encoding/ihybrid.py", "encoding/iohybrid.py",
+            "encoding/onehot.py", "encoding/osym.py",
+            "encoding/out_encoder.py", "encoding/project.py",
+            "encoding/verify.py", "encoding/base.py",
+            "fsm/kiss.py", "fsm/symbolic_cover.py",
+            "symbolic/*.py",
+        ),
+    })
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def call_name(call: ast.Call) -> Optional[str]:
+    """Terminal name of a call: ``foo()`` and ``a.b.foo()`` → ``foo``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(expr: ast.AST) -> Optional[str]:
+    """``a.b.c`` rendered as a string, or ``None`` for non-name chains."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def string_elements(node: ast.AST) -> Optional[List[str]]:
+    """The string constants of a set/tuple/list literal (possibly
+    wrapped in ``frozenset(...)``/``set(...)``); ``None`` if anything in
+    it is not a plain string."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set", "tuple") \
+            and len(node.args) == 1 and not node.keywords:
+        return string_elements(node.args[0])
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return out
+    return None
+
+
+def walk_skipping(node: ast.AST,
+                  skip: Tuple[type, ...]) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into *skip* node types."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, skip):
+            continue
+        yield child
+        yield from walk_skipping(child, skip)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Every ``*.py`` under *paths*, deterministic order, caches skipped."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" not in f.parts:
+                    yield f
+        else:
+            yield p
+
+
+def instantiate_rules(
+    only: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Fresh instances of every registered rule (or the *only* subset)."""
+    # rule modules self-register on import
+    from repro.analysis import rules as _rules  # noqa: F401
+    ids = sorted(REGISTRY) if only is None else list(only)
+    out = []
+    for rule_id in ids:
+        if rule_id not in REGISTRY:
+            raise KeyError(f"unknown rule {rule_id!r}; "
+                           f"available: {', '.join(sorted(REGISTRY))}")
+        out.append(REGISTRY[rule_id]())
+    return out
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "counts": counts,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _suppression_targets(ctx: FileContext) -> Dict[int, Suppression]:
+    """Line -> suppression map.  An inline directive covers its own
+    line; a standalone one covers the next *code* line, so multi-line
+    justification comments may continue below the directive."""
+    lines = ctx.source.splitlines()
+    out: Dict[int, Suppression] = {}
+    for sup in ctx.suppressions:
+        out.setdefault(sup.line, sup)
+        if not sup.standalone:
+            continue
+        for idx in range(sup.line, len(lines)):
+            text = lines[idx].strip()
+            if text and not text.startswith("#"):
+                out.setdefault(idx + 1, sup)
+                break
+    return out
+
+
+def lint_file(path: Path, rules: Sequence[Rule], config: LintConfig,
+              display: Optional[str] = None) -> Tuple[List[Finding], int]:
+    """All (finding, suppressed-count) for one file."""
+    shown = display if display is not None else str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=shown)
+    except (OSError, SyntaxError, ValueError) as exc:
+        return [Finding(rule=META_RULE, path=shown,
+                        line=getattr(exc, "lineno", None) or 1, col=0,
+                        message=f"could not parse: {exc}")], 0
+    ctx = FileContext(path=path, display=shown, source=source, tree=tree,
+                      suppressions=parse_suppressions(source))
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies(shown, config):
+            raw.extend(rule.check(ctx, config))
+    kept: List[Finding] = []
+    suppressed = 0
+    targets = _suppression_targets(ctx)
+    for f in raw:
+        sup = targets.get(f.line)
+        if sup is not None and sup.covers(f.rule) and sup.reason:
+            suppressed += 1
+            continue
+        kept.append(f)
+    # malformed directives are findings of their own, wherever they are
+    for sup in ctx.suppressions:
+        if not sup.reason:
+            kept.append(Finding(
+                rule=META_RULE, path=shown, line=sup.line, col=0,
+                message="suppression without a justification: append "
+                        "' -- reason' to the disable directive"))
+        for rule_id in sup.rules:
+            if rule_id != "all" and not _RULE_ID.match(rule_id):
+                kept.append(Finding(
+                    rule=META_RULE, path=shown, line=sup.line, col=0,
+                    message=f"unknown rule id {rule_id!r} in suppression"))
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
+    display_root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every python file under *paths*; the public entry point."""
+    cfg = config if config is not None else default_config()
+    active = list(rules) if rules is not None else instantiate_rules()
+    result = LintResult()
+    for f in iter_python_files(paths):
+        display = None
+        if display_root is not None:
+            try:
+                display = f.relative_to(display_root).as_posix()
+            except ValueError:
+                display = None
+        findings, suppressed = lint_file(f, active, cfg, display=display)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files += 1
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -1,0 +1,10 @@
+"""The shipped rules.  Importing this package registers all of them."""
+
+from repro.analysis.rules import (  # noqa: F401
+    nv001_fingerprint,
+    nv002_budget,
+    nv003_atomic,
+    nv004_taxonomy,
+    nv005_determinism,
+    nv006_spawn,
+)

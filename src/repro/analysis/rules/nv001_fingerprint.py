@@ -1,0 +1,181 @@
+"""NV001 — cache-key completeness for :class:`EncodeOptions`.
+
+The content-addressed encode cache is only sound if every options field
+that can change the *result* participates in the fingerprint.  This
+rule reads ``encoding/options.py`` and proves, statically, that every
+dataclass field is either consumed by ``fingerprint_fields`` or listed
+in the ``NON_FINGERPRINT_FIELDS`` whitelist of pure-policy fields.
+
+Supported exclusion forms inside the ``fingerprint_fields``
+comprehension::
+
+    if f.name not in NON_FINGERPRINT_FIELDS      # the canonical form
+    if f.name not in {"cache", "other"}          # inline literal
+    if f.name != "cache"                         # single literal
+
+Anything the rule cannot resolve is itself a finding: an invariant that
+cannot be checked is as dangerous as one that is broken.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    register,
+    string_elements,
+)
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, ast.stmt]]:
+    out = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                          ast.Name):
+            out.append((stmt.target.id, stmt))
+    return out
+
+
+def _is_field_name(expr: ast.AST) -> bool:
+    """``f.name`` for the comprehension variable ``f``."""
+    return (isinstance(expr, ast.Attribute) and expr.attr == "name"
+            and isinstance(expr.value, ast.Name))
+
+
+def _exclusions(cond: ast.expr, module: ast.Module,
+                whitelist_name: str) -> Optional[Set[str]]:
+    """Field names a comprehension condition excludes, or ``None`` if
+    the condition is not statically resolvable."""
+    if isinstance(cond, ast.BoolOp) and isinstance(cond.op, ast.And):
+        total: Set[str] = set()
+        for part in cond.values:
+            sub = _exclusions(part, module, whitelist_name)
+            if sub is None:
+                return None
+            total |= sub
+        return total
+    if not (isinstance(cond, ast.Compare) and len(cond.ops) == 1
+            and _is_field_name(cond.left)):
+        return None
+    op, comparator = cond.ops[0], cond.comparators[0]
+    if isinstance(op, ast.NotEq) and isinstance(comparator, ast.Constant) \
+            and isinstance(comparator.value, str):
+        return {comparator.value}
+    if isinstance(op, ast.NotIn):
+        if isinstance(comparator, ast.Name):
+            if comparator.id != whitelist_name:
+                return None
+            literal = _module_whitelist(module, whitelist_name)
+            return set(literal) if literal is not None else None
+        names = string_elements(comparator)
+        return set(names) if names is not None else None
+    return None
+
+
+def _module_whitelist(module: ast.Module,
+                      name: str) -> Optional[List[str]]:
+    for stmt in module.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for tgt in targets:
+            if isinstance(tgt, ast.Name) and tgt.id == name:
+                assert value is not None
+                return string_elements(value)
+    return None
+
+
+@register
+class FingerprintCompleteness(Rule):
+    id = "NV001"
+    title = ("every EncodeOptions field enters the cache fingerprint "
+             "or is whitelisted as pure policy")
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        cls = None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name == config.options_class:
+                cls = node
+                break
+        if cls is None:
+            return
+        fields = _dataclass_fields(cls)
+        field_names = {name for name, _ in fields}
+
+        method = None
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef) \
+                    and stmt.name == config.fingerprint_method:
+                method = stmt
+                break
+        if method is None:
+            yield ctx.finding(
+                self, cls,
+                f"{config.options_class} has no "
+                f"{config.fingerprint_method}() method — fields cannot "
+                f"enter the cache key")
+            return
+
+        whitelist = _module_whitelist(ctx.tree,
+                                      config.fingerprint_whitelist)
+        excluded: Set[str] = set()
+        resolvable = True
+        comps = [n for n in ast.walk(method)
+                 if isinstance(n, (ast.GeneratorExp, ast.ListComp,
+                                   ast.SetComp))]
+        if not comps:
+            yield ctx.finding(
+                self, method,
+                f"{config.fingerprint_method} does not iterate the "
+                f"dataclass fields — cannot verify cache-key "
+                f"completeness")
+            return
+        for comp in comps:
+            for gen in comp.generators:
+                for cond in gen.ifs:
+                    sub = _exclusions(cond, ctx.tree,
+                                      config.fingerprint_whitelist)
+                    if sub is None:
+                        resolvable = False
+                        yield ctx.finding(
+                            self, cond,
+                            "unresolvable field-exclusion condition in "
+                            f"{config.fingerprint_method} — rewrite as "
+                            f"'f.name not in "
+                            f"{config.fingerprint_whitelist}'")
+                    else:
+                        excluded |= sub
+        if not resolvable:
+            return
+
+        allowed = set(whitelist or ())
+        for name in sorted(excluded - allowed):
+            yield ctx.finding(
+                self, method,
+                f"field {name!r} is excluded from "
+                f"{config.fingerprint_method} but not listed in "
+                f"{config.fingerprint_whitelist} — a result-affecting "
+                f"option outside the cache key serves stale encodings")
+        for name in sorted(allowed - field_names):
+            yield ctx.finding(
+                self, cls,
+                f"{config.fingerprint_whitelist} lists {name!r}, which "
+                f"is not a field of {config.options_class}")
+        for name in sorted(allowed - excluded):
+            if name in field_names:
+                yield ctx.finding(
+                    self, method,
+                    f"field {name!r} is whitelisted in "
+                    f"{config.fingerprint_whitelist} but "
+                    f"{config.fingerprint_method} still includes it — "
+                    f"whitelist and exclusion disagree")

@@ -1,0 +1,101 @@
+"""NV002 — budget coverage of hot loops.
+
+The pipeline honours wall-clock timeouts *cooperatively*: exact and
+heuristic search loops must poll the :class:`repro.perf.budget.Budget`
+(via ``charge``/``check_time``/``expired``/``tick``) often enough that a
+deadline actually interrupts them.  A loop that does real work without
+ever touching a budget can run unbounded and turns ``timeout=`` into a
+suggestion.
+
+For every ``for``/``while`` loop in the designated hot modules
+(``encoding/iexact.py``, ``encoding/ihybrid.py``, ``logic/espresso.py``,
+``logic/urp.py``) the rule requires either
+
+* a budget call somewhere in the loop's subtree (a tick inside a nested
+  loop or a called-per-iteration helper counts when it is written in
+  the loop body), or
+* a justified ``# nova-lint: disable=NV002 -- reason`` suppression.
+
+Loops that only shuffle data — every call in their own body (nested
+loops and function definitions excluded) is on the cheap-call list —
+are exempt: bounded bookkeeping needs no metering.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    call_name,
+    register,
+    walk_skipping,
+)
+
+_LOOPS = (ast.For, ast.While, ast.AsyncFor)
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _has_budget_call(loop: ast.AST, config: LintConfig) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in config.budget_calls:
+                return True
+    return False
+
+
+def _significant_calls(loop: ast.stmt,
+                       config: LintConfig) -> List[ast.Call]:
+    """Non-cheap calls at the loop's own level.
+
+    Nested loops are excluded (they are checked on their own) and so
+    are nested function definitions (not executed per iteration).  The
+    loop's iterable expression *is* included: consuming a generator or
+    re-evaluating a ``while`` guard does per-iteration work.
+    """
+    out = []
+    roots: List[ast.AST] = list(getattr(loop, "body", []))
+    roots += list(getattr(loop, "orelse", []))
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
+        roots.append(loop.iter)
+    elif isinstance(loop, ast.While):
+        roots.append(loop.test)
+    for root in roots:
+        candidates = [root] if isinstance(root, ast.Call) else []
+        candidates += list(walk_skipping(root, _LOOPS + _SCOPES))
+        for node in candidates:
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None or (name not in config.cheap_calls
+                                    and name not in config.budget_calls):
+                    out.append(node)
+    return out
+
+
+@register
+class BudgetCoverage(Rule):
+    id = "NV002"
+    title = "hot loops poll the cooperative budget"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _LOOPS):
+                continue
+            if _has_budget_call(node, config):
+                continue
+            significant = _significant_calls(node, config)
+            if not significant:
+                continue
+            first = call_name(significant[0]) or "<expr>"
+            yield ctx.finding(
+                self, node,
+                f"loop does per-iteration work ({first}(), "
+                f"{len(significant)} non-trivial call(s)) without a "
+                f"budget check — add budget.charge()/check_time()/"
+                f"tick() or a justified suppression")

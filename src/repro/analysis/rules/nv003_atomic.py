@@ -1,0 +1,184 @@
+"""NV003 — atomic-write discipline in cache/journal/run-dir modules.
+
+Readers of the disk cache and the batch journal assume every published
+file is complete: :mod:`repro.cache.store` publishes with
+tmp + ``fsync`` + ``os.replace``, the journal appends fsync'd lines.  A
+raw ``open(path, "w")`` anywhere else in those modules can leave a torn
+file that a concurrent reader (or a crash-resumed run) then trusts.
+
+The rule flags every write-capable ``open`` (mode containing
+``w``/``a``/``x``/``+``) and every ``Path.write_text``/``write_bytes``
+in ``cache/`` and ``runner/`` modules unless it sits inside one of the
+blessed publish helpers.  Blessed helpers that *truncate-write*
+(``w``/``x`` modes) are additionally required to contain both an
+``fsync`` call and an ``os.replace`` — removing either from, say,
+``DiskStore.put`` is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    call_name,
+    dotted_name,
+    register,
+)
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The constant mode string of an ``open`` call; ``"r"`` when
+    omitted; ``None`` when not statically constant."""
+    mode_expr: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_expr = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_expr = kw.value
+    if mode_expr is None:
+        return "r"
+    if isinstance(mode_expr, ast.Constant) \
+            and isinstance(mode_expr.value, str):
+        return mode_expr.value
+    return None
+
+
+def _enclosing_qualnames(tree: ast.Module,
+                         target: ast.AST) -> List[str]:
+    """Qualified names of the function chain containing *target*,
+    innermost last: ``["DiskStore.put"]`` or ``["write_manifest"]``."""
+    path: List[str] = []
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> bool:
+        if node is target:
+            path.extend(_stack_names(stack))
+            return True
+        for child in ast.iter_child_nodes(node):
+            grew = isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.ClassDef))
+            if grew:
+                stack.append(node)
+            found = visit(child, stack)
+            if grew:
+                stack.pop()
+            if found:
+                return True
+        return False
+
+    def _stack_names(stack: List[ast.AST]) -> List[str]:
+        names = []
+        prev_class: Optional[str] = None
+        for node in stack:
+            if isinstance(node, ast.ClassDef):
+                prev_class = node.name
+            else:
+                assert isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+                if prev_class is not None:
+                    names.append(f"{prev_class}.{node.name}")
+                    prev_class = None
+                else:
+                    names.append(node.name)
+        return names
+
+    visit(tree, [])
+    return path
+
+
+def _function_has(fn: ast.AST, *, name: Optional[str] = None,
+                  dotted: Optional[str] = None) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            if name is not None and call_name(node) == name:
+                return True
+            if dotted is not None and dotted_name(node.func) == dotted:
+                return True
+    return False
+
+
+@register
+class AtomicWrites(Rule):
+    id = "NV003"
+    title = "cache/journal writes go through atomic publish helpers"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        writes: List[Tuple[ast.Call, str]] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "open":
+                mode = _open_mode(node)
+                if mode is None:
+                    writes.append((node, "?"))
+                elif any(ch in mode for ch in "wax+"):
+                    writes.append((node, mode))
+            elif name in ("write_text", "write_bytes") \
+                    and isinstance(node.func, ast.Attribute):
+                writes.append((node, "w"))
+
+        checked_blessed = set()
+        for call, mode in writes:
+            chain = _enclosing_qualnames(ctx.tree, call)
+            blessed = next((q for q in chain
+                            if q in config.atomic_writers
+                            or q.split(".")[-1] in config.atomic_writers),
+                           None)
+            if blessed is None:
+                where = chain[-1] if chain else "module level"
+                yield ctx.finding(
+                    self, call,
+                    f"raw write (mode {mode!r}) in {where} — publish "
+                    f"through an atomic helper "
+                    f"({', '.join(config.atomic_writers)}) so readers "
+                    f"never see a torn file")
+                continue
+            if mode == "?":
+                yield ctx.finding(
+                    self, call,
+                    f"open() in blessed helper {blessed} has a "
+                    f"non-constant mode — make the mode a literal so "
+                    f"the write discipline stays checkable")
+                continue
+            if any(ch in mode for ch in "wx") \
+                    and blessed not in checked_blessed:
+                checked_blessed.add(blessed)
+                fn = self._named_function(ctx.tree, blessed)
+                if fn is None:
+                    continue
+                missing = []
+                if not _function_has(fn, name="fsync"):
+                    missing.append("fsync")
+                if not _function_has(fn, dotted="os.replace"):
+                    missing.append("os.replace")
+                if missing:
+                    yield ctx.finding(
+                        self, fn,
+                        f"blessed writer {blessed} truncate-writes but "
+                        f"lacks {' and '.join(missing)} — its publishes "
+                        f"are no longer atomic")
+
+    @staticmethod
+    def _named_function(tree: ast.Module,
+                        qualname: str) -> Optional[ast.AST]:
+        parts = qualname.split(".")
+        scope: ast.AST = tree
+        for i, part in enumerate(parts):
+            found = None
+            for node in ast.iter_child_nodes(scope):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef,
+                                     ast.ClassDef)) \
+                        and node.name == part:
+                    found = node
+                    break
+            if found is None:
+                return None
+            scope = found
+        return scope

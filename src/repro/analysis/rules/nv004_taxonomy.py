@@ -1,0 +1,147 @@
+"""NV004 — the error taxonomy is load-bearing.
+
+The driver maps :class:`repro.errors.ReproError` subclasses to exit
+codes, fallback decisions, and journal records; an exception outside
+the taxonomy escapes all three.  Two checks, two scopes:
+
+* **everywhere**: no bare ``except:``; a broad ``except
+  Exception/BaseException`` must do something with the exception —
+  re-raise, reference the bound name, or hand it to a journal/logger.
+  Silently swallowed exceptions hide budget expiry and worker death.
+* **pipeline stage modules** (the ``NV004-stages`` scope): every
+  ``raise`` constructs a taxonomy class (``ReproError`` and friends,
+  or a locally-defined subclass of one).  ``TypeError``/``ValueError``
+  raised mid-pipeline bypasses the fallback chain and surfaces as a
+  crash instead of a recorded, recoverable failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    call_name,
+    path_matches,
+    register,
+)
+
+_BROAD = ("Exception", "BaseException")
+_SINK_CALLS = ("journal", "log", "warning", "error", "exception",
+               "record", "append_event", "debug")
+
+
+def _handler_exc_names(handler: ast.ExceptHandler) -> Set[str]:
+    t = handler.type
+    names: Set[str] = set()
+    if isinstance(t, ast.Name):
+        names.add(t.id)
+    elif isinstance(t, ast.Attribute):
+        names.add(t.attr)
+    elif isinstance(t, ast.Tuple):
+        for elt in t.elts:
+            if isinstance(elt, ast.Name):
+                names.add(elt.id)
+            elif isinstance(elt, ast.Attribute):
+                names.add(elt.attr)
+    return names
+
+
+def _handles_exception(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for node in handler.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if bound and isinstance(sub, ast.Name) and sub.id == bound:
+                return True
+            if isinstance(sub, ast.Call) \
+                    and call_name(sub) in _SINK_CALLS:
+                return True
+    return False
+
+
+def _local_bases(tree: ast.Module) -> Dict[str, Set[str]]:
+    out: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases: Set[str] = set()
+            for b in node.bases:
+                if isinstance(b, ast.Name):
+                    bases.add(b.id)
+                elif isinstance(b, ast.Attribute):
+                    bases.add(b.attr)
+            out[node.name] = bases
+    return out
+
+
+def _in_taxonomy(name: str, allowed: Set[str],
+                 local: Dict[str, Set[str]],
+                 seen: Optional[Set[str]] = None) -> bool:
+    if name in allowed:
+        return True
+    if name not in local:
+        return False
+    seen = seen or set()
+    if name in seen:
+        return False
+    seen.add(name)
+    return any(_in_taxonomy(base, allowed, local, seen)
+               for base in local[name])
+
+
+@register
+class ErrorTaxonomy(Rule):
+    id = "NV004"
+    title = "pipeline errors stay inside the ReproError taxonomy"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare 'except:' catches SystemExit and "
+                    "KeyboardInterrupt — name the exception types, or "
+                    "at minimum 'except Exception'")
+                continue
+            names = _handler_exc_names(node)
+            if names & set(_BROAD) and not _handles_exception(node):
+                yield ctx.finding(
+                    self, node,
+                    f"broad 'except {'/'.join(sorted(names))}' "
+                    f"swallows the exception — re-raise it, journal "
+                    f"it, or use the bound name")
+
+        stage_pats = config.rule_paths.get("NV004-stages")
+        if not stage_pats or not path_matches(ctx.display, stage_pats):
+            return
+        allowed = set(config.allowed_raises)
+        local = _local_bases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name: Optional[str] = None
+            if isinstance(exc, ast.Call):
+                name = call_name(exc)
+            elif isinstance(exc, ast.Attribute):
+                name = exc.attr
+            elif isinstance(exc, ast.Name):
+                # re-raising a caught/constructed object: allowed
+                continue
+            if name is None:
+                continue
+            if not _in_taxonomy(name, allowed, local):
+                yield ctx.finding(
+                    self, node,
+                    f"stage module raises {name}, which is outside the "
+                    f"ReproError taxonomy — the fallback chain and "
+                    f"exit-code mapping cannot see it (use "
+                    f"ConstraintError/EncodingInfeasible/... instead)")

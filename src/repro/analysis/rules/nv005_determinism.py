@@ -1,0 +1,73 @@
+"""NV005 — determinism of fingerprinted encode paths.
+
+The encode cache keys results by (machine, options) alone.  Any call
+that reads ambient state — the module-level :mod:`random` functions and
+their hidden global generator, wall-clock time, ``os.urandom``,
+``uuid4`` — makes a "deterministic" result quietly depend on when and
+where it ran, so a cache hit replays a value the current process could
+never have produced.
+
+Inside encode-path modules (``encoding/``, ``logic/``,
+``constraints/``, ``symbolic/``, ``fsm/``, ``cache/``, ``baselines/``)
+the rule flags:
+
+* module-level :mod:`random` calls (``random.random()``,
+  ``random.shuffle()``, ...) — randomness must flow through an
+  explicitly seeded ``random.Random(seed)`` object;
+* unseeded ``random.Random()`` constructions;
+* wall-clock and entropy reads: ``time.time``, ``datetime.now``,
+  ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``.
+
+``time.monotonic``/``perf_counter`` are fine — budgets and perf
+counters measure durations, which never enter a result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    dotted_name,
+    register,
+)
+
+
+@register
+class Determinism(Rule):
+    id = "NV005"
+    title = "encode paths use only seedable randomness, no wall clock"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in config.nondeterministic_calls:
+                yield ctx.finding(
+                    self, node,
+                    f"{dotted}() reads ambient state inside a "
+                    f"fingerprinted encode path — the result would "
+                    f"depend on when/where it ran, poisoning cache "
+                    f"hits")
+            elif dotted == "random.Random":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self, node,
+                        "random.Random() without a seed draws from OS "
+                        "entropy — pass the seed from EncodeOptions so "
+                        "identical options reproduce identical "
+                        "results")
+            elif dotted.startswith("random."):
+                yield ctx.finding(
+                    self, node,
+                    f"{dotted}() uses the hidden module-level "
+                    f"generator — thread a seeded random.Random "
+                    f"object through instead")

@@ -1,0 +1,114 @@
+"""NV006 — spawn-safety of runner worker modules.
+
+The batch runner starts workers with the ``spawn`` method: every worker
+re-imports its module in a fresh interpreter, and everything the parent
+sends across the pipe is pickled.  A module-level side effect (opening
+a file, starting a thread, touching the network) therefore runs once
+*per worker*, and a module-level object that does those things lazily
+is a pickle bomb waiting for the first task.
+
+Worker modules must be import-clean.  At module level the rule allows
+only: the docstring, imports, ``def``/``class`` statements, ``if
+TYPE_CHECKING:`` and ``if __name__ == "__main__":`` guards,
+``try:``-wrapped import fallbacks, and assignments of *static* values —
+constants, containers of statics, aliases, and calls to a short list of
+pure factories (``frozenset``, ``namedtuple``, ...).  Everything else
+is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    register,
+)
+
+
+def _is_static(value: ast.expr, config: LintConfig) -> bool:
+    if isinstance(value, ast.Constant):
+        return True
+    if isinstance(value, (ast.Name, ast.Attribute)):
+        return True  # alias of something already imported
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_static(e, config) for e in value.elts)
+    if isinstance(value, ast.Dict):
+        return all(k is not None and _is_static(k, config)
+                   for k in value.keys) \
+            and all(_is_static(v, config) for v in value.values)
+    if isinstance(value, ast.UnaryOp):
+        return _is_static(value.operand, config)
+    if isinstance(value, ast.BinOp):
+        return _is_static(value.left, config) \
+            and _is_static(value.right, config)
+    if isinstance(value, ast.Call):
+        fn = value.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None)
+        if name not in config.spawn_safe_factories:
+            return False
+        return all(_is_static(a, config) for a in value.args) \
+            and all(_is_static(kw.value, config)
+                    for kw in value.keywords)
+    return False
+
+
+def _guard_kind(stmt: ast.If) -> Optional[str]:
+    t = stmt.test
+    if isinstance(t, ast.Compare) and isinstance(t.left, ast.Name) \
+            and t.left.id == "__name__":
+        return "main"
+    if isinstance(t, ast.Name) and t.id == "TYPE_CHECKING":
+        return "typing"
+    if isinstance(t, ast.Attribute) and t.attr == "TYPE_CHECKING":
+        return "typing"
+    return None
+
+
+def _is_import_fallback(stmt: ast.Try) -> bool:
+    return all(isinstance(s, (ast.Import, ast.ImportFrom))
+               for s in stmt.body)
+
+
+@register
+class SpawnSafety(Rule):
+    id = "NV006"
+    title = "worker modules are import-clean across the spawn boundary"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        for i, stmt in enumerate(ctx.tree.body):
+            if isinstance(stmt, (ast.Import, ast.ImportFrom,
+                                 ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if i == 0 and isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Constant) \
+                    and isinstance(stmt.value.value, str):
+                continue  # docstring
+            if isinstance(stmt, ast.If) and _guard_kind(stmt):
+                continue
+            if isinstance(stmt, ast.Try) and _is_import_fallback(stmt):
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is None or _is_static(value, config):
+                    continue
+                yield ctx.finding(
+                    self, stmt,
+                    "module-level assignment computes a non-static "
+                    "value — it runs on every spawn re-import and may "
+                    "not survive pickling; build it lazily inside the "
+                    "worker entry point")
+                continue
+            yield ctx.finding(
+                self, stmt,
+                f"module-level {type(stmt).__name__} is a side effect "
+                f"at import time — spawn re-imports this module in "
+                f"every worker; move it under "
+                f"'if __name__ == \"__main__\":' or into a function")

@@ -1,8 +1,8 @@
 """Baseline state-assignment programs reimplemented from their papers."""
 
 from repro.baselines.kiss import kiss_code
-from repro.baselines.mustang import mustang_code, MUSTANG_OPTIONS
-from repro.baselines.random_search import random_assignments, best_random
+from repro.baselines.mustang import MUSTANG_OPTIONS, mustang_code
+from repro.baselines.random_search import best_random, random_assignments
 
 __all__ = [
     "kiss_code",

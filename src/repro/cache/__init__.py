@@ -34,11 +34,11 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cache.codec import (
-    CacheDecodeError,
     PAYLOAD_VERSION,
+    CacheDecodeError,
     decode_result,
     encode_result,
 )
@@ -111,7 +111,7 @@ def resolve_policy(policy: str = "auto") -> str:
 # process shares the same memory tier and hit/miss counters.  The disk
 # tier holds no open handles, so instances are cheap to keep around
 # even when NOVA_CACHE_DIR changes mid-process (tests do this).
-_CACHES: Dict[tuple, EncodeCache] = {}
+_CACHES: Dict[Tuple[str, Optional[str]], EncodeCache] = {}
 
 
 def get_cache(policy: str = "auto") -> Optional[EncodeCache]:
@@ -130,8 +130,15 @@ def get_cache(policy: str = "auto") -> Optional[EncodeCache]:
     if cache is None:
         cache = EncodeCache(DiskStore(root, max_bytes=_max_bytes()))
         _CACHES[key] = cache
-    else:
+    elif cache.disk is not None:
         cache.disk.max_bytes = _max_bytes()
+    return cache
+
+
+def _cache_on() -> EncodeCache:
+    """The always-on cache the module-level controls operate on."""
+    cache = get_cache("on")
+    assert cache is not None  # policy "on" never resolves to None
     return cache
 
 
@@ -154,7 +161,7 @@ def cache_info() -> Dict:
     flattened to the top level so ``nova cache info`` output is a single
     simple JSON object.
     """
-    cache = get_cache("on")
+    cache = _cache_on()
     out = cache.info()
     disk = out.pop("disk", None) or {}
     out.update(disk)
@@ -163,13 +170,13 @@ def cache_info() -> Dict:
 
 def cache_clear() -> Dict:
     """Empty both tiers; returns ``{"removed": N}`` (disk blobs)."""
-    cache = get_cache("on")
+    cache = _cache_on()
     return {"removed": cache.clear()["disk_removed"]}
 
 
 def cache_prune(max_bytes: Optional[int] = None) -> Dict:
     """Prune the disk tier to *max_bytes* (default: the configured cap)."""
-    cache = get_cache("on")
+    cache = _cache_on()
     if cache.disk is None:  # pragma: no cover - "on" always has a disk
         return {"removed": 0, "removed_bytes": 0, "bytes": 0}
     return cache.disk.prune(max_bytes)

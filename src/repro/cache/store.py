@@ -31,9 +31,9 @@ demand via ``nova cache prune``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 import json
 import os
-from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 

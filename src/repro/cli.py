@@ -241,6 +241,38 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis of the *codebase*: the NV001-NV006 invariants."""
+    from repro.analysis import REGISTRY, instantiate_rules, lint_paths
+
+    if args.list_rules:
+        for rule_id in sorted(REGISTRY):
+            print(f"{rule_id}  {REGISTRY[rule_id]().title}")
+        return 0
+    if not args.paths:
+        print("error: give at least one file or directory to lint",
+              file=sys.stderr)
+        return 2
+    only = None
+    if args.rules:
+        only = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        rules = instantiate_rules(only)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, rules=rules)
+    if args.json:
+        print(result.to_json())
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        print(f"{len(result.findings)} finding(s) in {result.files} "
+              f"file(s), {result.suppressed} suppressed "
+              f"({len(rules)} rules active)", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Encode a machine and independently verify the result."""
     from repro.encoding.verify import verify_encoded_machine
@@ -380,6 +412,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     ana.add_argument("--benchmark", help="benchmark machine name")
     ana.add_argument("--dot", help="write the STG as Graphviz to this file")
     ana.set_defaults(func=_cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the codebase's pipeline invariants (NV001-NV006)",
+        description="AST-based static analysis enforcing the repo's "
+                    "correctness contracts: cache-key completeness, "
+                    "budget coverage of hot loops, atomic-write "
+                    "discipline, the error taxonomy, encode-path "
+                    "determinism, and spawn-safety of worker modules. "
+                    "Exit 0 clean, 1 findings, 2 usage error.")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (e.g. src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings on stdout")
+    lint.add_argument("--rules", metavar="IDS",
+                      help="comma-separated rule subset (e.g. NV001,NV004)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     ver = sub.add_parser("verify",
                          help="encode and independently verify a machine")

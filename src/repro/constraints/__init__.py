@@ -5,8 +5,8 @@ from repro.constraints.input_constraints import (
     ConstraintSet,
     extract_input_constraints,
 )
-from repro.constraints.poset import InputGraph, closure_intersection
 from repro.constraints.output_constraints import OutputCluster, OutputConstraints
+from repro.constraints.poset import InputGraph, closure_intersection
 
 __all__ = [
     "Face",

@@ -2,12 +2,9 @@
 
 from repro.encoding.base import Encoding, constraint_satisfied, satisfied_masks
 from repro.encoding.iexact import iexact_code, semiexact_code
-from repro.encoding.project import project_code
-from repro.encoding.ihybrid import ihybrid_code
 from repro.encoding.igreedy import igreedy_code
+from repro.encoding.ihybrid import ihybrid_code
 from repro.encoding.iohybrid import iohybrid_code, iovariant_code
-from repro.encoding.out_encoder import out_encoder
-from repro.encoding.onehot import onehot_code, random_code
 from repro.encoding.nova import (
     ALGORITHMS,
     FALLBACK_CHAIN,
@@ -17,6 +14,9 @@ from repro.encoding.nova import (
     encode_fsm,
     fallback_chain,
 )
+from repro.encoding.onehot import onehot_code, random_code
+from repro.encoding.out_encoder import out_encoder
+from repro.encoding.project import project_code
 from repro.encoding.verify import VerificationReport, verify_encoded_machine
 
 __all__ = [

@@ -7,6 +7,7 @@ from typing import Iterable, List
 
 from repro.constraints.faces import Face
 from repro.constraints.input_constraints import ConstraintSet
+from repro.errors import ConstraintError, EncodingInfeasible
 
 
 @dataclass
@@ -20,9 +21,10 @@ class Encoding:
         limit = 1 << self.nbits
         for c in self.codes:
             if c < 0 or c >= limit:
-                raise ValueError(f"code {c:#x} does not fit in {self.nbits} bits")
+                raise ConstraintError(
+                    f"code {c:#x} does not fit in {self.nbits} bits")
         if len(set(self.codes)) != len(self.codes):
-            raise ValueError("codes must be injective")
+            raise ConstraintError("codes must be injective")
 
     @property
     def n(self) -> int:
@@ -45,7 +47,7 @@ class Encoding:
         """Append one MSB per symbol (used by ``project_code``)."""
         bits = list(new_bits)
         if len(bits) != self.n:
-            raise ValueError("need one new bit per symbol")
+            raise ConstraintError("need one new bit per symbol")
         return Encoding(
             self.nbits + 1,
             [c | (b << self.nbits) for c, b in zip(self.codes, bits)],
@@ -85,5 +87,5 @@ def satisfied_weight(enc: Encoding, cs: ConstraintSet) -> int:
 def counting_sequence_code(n: int, nbits: int) -> Encoding:
     """The trivial 0, 1, 2, ... encoding (used as a deterministic fallback)."""
     if (1 << nbits) < n:
-        raise ValueError("not enough codes")
+        raise EncodingInfeasible("not enough codes")
     return Encoding(nbits, list(range(n)))

@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro import perf
 from repro.constraints.faces import (
     Face,
     count_faces_of_level,
@@ -33,11 +34,10 @@ from repro.constraints.faces import (
     min_level,
     subfaces,
 )
-from repro import perf
 from repro.constraints.input_constraints import ConstraintSet
 from repro.constraints.poset import InputGraph
 from repro.encoding.base import Encoding
-from repro.perf.budget import Budget, BudgetExceeded
+from repro.perf.budget import Budget, BudgetExceeded, tick
 
 # an io_check receives (state, proposed code, codes fixed so far) and may
 # veto the assignment -- used by io_semiexact_code to enforce output
@@ -55,10 +55,12 @@ def count_cond1(ig: InputGraph) -> int:
     """Enough faces of every level for the constraints needing them."""
     need: Dict[int, int] = {}
     for ic in ig.non_universe_nodes():
+        tick()
         lvl = min_level(ig.cardinality(ic))
         need[lvl] = need.get(lvl, 0) + 1
     k = max(1, min_level(ig.n))
     while True:
+        tick()
         if all(lvl <= k and need_count <= count_faces_of_level(k, lvl)
                for lvl, need_count in need.items()):
             return k
@@ -69,6 +71,7 @@ def count_cond2(ig: InputGraph, k: int) -> int:
     """A face of level l has k - l minimal including faces; every
     constraint needs at least as many as it has fathers."""
     for ic in ig.non_universe_nodes():
+        tick()
         lvl = min_level(ig.cardinality(ic))
         k = max(k, lvl + len(ig.fathers[ic]))
     return k
@@ -78,6 +81,7 @@ def count_cond3(ig: InputGraph, k: int) -> int:
     """Virtual states introduced by uneven constraints (§3.3.2.2)."""
     vrt = []
     for ic in ig.non_universe_nodes():
+        tick()
         c = ig.cardinality(ic)
         pow2 = 1 << min_level(c)
         if pow2 != c:
@@ -259,6 +263,9 @@ class _PosEquiv:
         ig = self.ig
         best = None
         best_key: Optional[Tuple] = None
+        # nova-lint: disable=NV002 -- bounded per-node scan; the search
+        # is metered by _search's charge per candidate face, and adding
+        # charges here would shift the paper's max_work trip points
         for ic in candidates:
             if self._is_singleton(ic):
                 continue
@@ -270,6 +277,9 @@ class _PosEquiv:
                 best, best_key = ic, k
         if best is not None:
             return best
+        # nova-lint: disable=NV002 -- MRV scan over unplaced singletons;
+        # metered by _search's charge per candidate, and extra charges
+        # would change the max_work semantics of the bounded search
         for ic in candidates:
             # MRV: most-constrained singleton first (smallest region)
             masks = self._region_masks(ic)
@@ -295,6 +305,8 @@ class _PosEquiv:
         care = 0
         val = 0
         enc_get = self.enc.get
+        # nova-lint: disable=NV002 -- memoized pure-integer father scan
+        # on the hot MRV path; metered by _search's charge per candidate
         for fa in self._real_fathers[ic]:
             face = enc_get(fa)
             if face is None:
@@ -321,6 +333,8 @@ class _PosEquiv:
             return
         if self._is_singleton(ic):
             # singleton faces are vertices: the state codes
+            # nova-lint: disable=NV002 -- candidate generator; _search
+            # charges the budget once per face it consumes from here
             for code in sorted(region.vertices()):
                 yield Face.vertex(self.k, code)
             return
@@ -338,6 +352,8 @@ class _PosEquiv:
             return
         # category 2/3: faces inside the region, tightest level first
         low = min_level(ig.cardinality(ic))
+        # nova-lint: disable=NV002 -- candidate generator; _search
+        # charges the budget once per face it consumes from here
         for level in range(low, region.level + 1):
             yield from subfaces(region, level)
 
@@ -375,6 +391,9 @@ class _PosEquiv:
     def _final_check(self) -> bool:
         """Authoritative face-embedding check on the complete assignment."""
         ig = self.ig
+        # nova-lint: disable=NV002 -- runs once per *complete*
+        # assignment, after the charged search has already paid for
+        # every node that led here
         for ic in ig.non_universe_nodes():
             face = self.enc[ic]
             for s in range(ig.n):
@@ -417,6 +436,7 @@ def _level_vectors(
         ranges.append(range(low, k))  # empty when low >= k: no vector fits
     count = 0
     for combo in itertools.product(*ranges):
+        tick()
         yield dict(zip(primaries, combo))
         count += 1
         if count >= limit:

@@ -11,8 +11,8 @@ from repro.encoding.base import Encoding, counting_sequence_code
 from repro.encoding.iexact import semiexact_code
 from repro.encoding.project import satisfy_all
 from repro.errors import EncodingInfeasible
-from repro.perf.budget import Budget
 from repro.fsm.machine import minimum_code_length
+from repro.perf.budget import Budget
 
 
 @dataclass
@@ -58,6 +58,8 @@ def ihybrid_code(
     ric: List[int] = []
     enc: Optional[Encoding] = None
     for mask, _w in cs.by_weight():
+        if budget is not None:
+            budget.check_time()
         attempt = semiexact_code(sic + [mask], n, min_bits,
                                  max_work=max_work, budget=budget)
         if attempt is not None:
@@ -70,6 +72,8 @@ def ihybrid_code(
     # over RIC recovers some of what the greedy order lost
     retry = list(ric)
     for mask in retry:
+        if budget is not None:
+            budget.check_time()
         attempt = semiexact_code(sic + [mask], n, min_bits,
                                  max_work=max_work, budget=budget)
         if attempt is not None:

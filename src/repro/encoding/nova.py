@@ -20,12 +20,12 @@ gate confirmed the result.
 
 from __future__ import annotations
 
-import random
-import time
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+import random
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+import warnings
 
 from repro.constraints.input_constraints import (
     ConstraintSet,
@@ -33,17 +33,17 @@ from repro.constraints.input_constraints import (
     extract_input_constraints,
 )
 from repro.encoding.base import Encoding, satisfied_weight
-from repro.encoding.options import (
-    ALGORITHMS,
-    EncodeOptions,
-    UNSET,
-    merge_options,
-)
 from repro.encoding.iexact import iexact_code
 from repro.encoding.igreedy import igreedy_code
 from repro.encoding.ihybrid import HybridStats, ihybrid_code
 from repro.encoding.iohybrid import IoStats, iohybrid_code, iovariant_code
 from repro.encoding.onehot import onehot_code, random_code
+from repro.encoding.options import (
+    ALGORITHMS,  # noqa: F401  (re-exported: the CLI imports it from here)
+    UNSET,
+    EncodeOptions,
+    merge_options,
+)
 from repro.errors import (
     EncodingInfeasible,
     ReproError,

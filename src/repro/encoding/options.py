@@ -51,6 +51,13 @@ EFFORTS = ("full", "low")
 #: disables lookups and fills entirely.
 CACHE_POLICIES = ("auto", "on", "off", "memory")
 
+#: Fields of :class:`EncodeOptions` that never change the *result* and
+#: are therefore excluded from cache fingerprints.  ``nova lint``
+#: (rule NV001) statically checks that ``fingerprint_fields`` excludes
+#: exactly this set: adding a field to the dataclass keeps it in the
+#: fingerprint unless it is deliberately whitelisted here.
+NON_FINGERPRINT_FIELDS = frozenset({"cache"})
+
 
 class _Unset:
     """Sentinel distinguishing 'not passed' from an explicit default."""
@@ -140,13 +147,14 @@ class EncodeOptions:
     def fingerprint_fields(self) -> Tuple[Tuple[str, Any], ...]:
         """The (name, value) pairs that participate in cache keys.
 
-        Everything that can change the *result* is included; ``cache``
-        itself is pure policy and excluded.
+        Everything that can change the *result* is included; the
+        fields of :data:`NON_FINGERPRINT_FIELDS` are pure policy and
+        excluded.
         """
         return tuple(
             (f.name, getattr(self, f.name))
             for f in dataclasses.fields(self)
-            if f.name != "cache"
+            if f.name not in NON_FINGERPRINT_FIELDS
         )
 
     @property

@@ -16,6 +16,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.encoding.base import Encoding
 from repro.encoding.out_encoder import out_encoder
+from repro.errors import ConstraintError
 from repro.fsm.machine import minimum_code_length
 from repro.fsm.symbolic_cover import SymbolicCover
 from repro.logic.cover import Cover
@@ -95,7 +96,7 @@ def out_symbol_encoding(sc: SymbolicCover,
     """Codes for the machine's output symbols (dominance-aware)."""
     n_osym = sc.num_out_symbol_parts
     if n_osym == 0:
-        raise ValueError("machine has no symbolic output")
+        raise ConstraintError("machine has no symbolic output")
     edges = output_symbol_dominance(sc, effort=effort)
     enc = out_encoder(n_osym, edges)
     min_bits = minimum_code_length(n_osym)

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 from repro.constraints.input_constraints import ConstraintSet
 from repro.encoding.base import Encoding, constraint_satisfied
+from repro.errors import ConstraintError
 
 
 def raise_for_constraint(enc: Encoding, mask: int) -> Encoding:
@@ -40,7 +41,8 @@ def project_code(
     satisfaction more likely.
     """
     if not ric:
-        raise ValueError("project_code called with no unsatisfied constraints")
+        raise ConstraintError(
+            "project_code called with no unsatisfied constraints")
     freq = [0] * cs.n
     for m in ric:
         for s in cs.members(m):

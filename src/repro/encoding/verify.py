@@ -9,11 +9,12 @@ outputs against the symbolic machine.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
+import itertools
 from typing import List, Optional
 
 from repro.encoding.base import Encoding
+from repro.errors import ConstraintError
 from repro.eval.instantiate import EncodedPLA
 from repro.fsm.machine import FSM
 from repro.logic.verify import verify_minimization
@@ -76,7 +77,8 @@ def verify_encoded_machine(
     sbits = pla.state_bits
     if fsm.has_symbolic_input:
         if symbol_enc is None:
-            raise ValueError("symbolic machine needs its symbol encoding")
+            raise ConstraintError(
+                "symbolic machine needs its symbol encoding")
         input_space = [("", symbol_enc.as_bits(fsm.symbol_index(v))[::-1], v)
                        for v in fsm.symbolic_input_values]
     elif fsm.num_inputs <= _EXHAUSTIVE_INPUT_BITS:
@@ -98,7 +100,8 @@ def verify_encoded_machine(
         input_space = [(vec, "", None) for vec in vectors]
 
     if fsm.has_symbolic_output and out_symbol_enc is None:
-        raise ValueError("machine with symbolic output needs its encoding")
+        raise ConstraintError(
+            "machine with symbolic output needs its encoding")
 
     for state in fsm.states:
         code = enc.code_of(fsm.state_index(state))

@@ -1,7 +1,7 @@
 """Evaluation: PLA instantiation, area model, multilevel literal counts."""
 
-from repro.eval.instantiate import EncodedPLA, instantiate, evaluate_encoding
 from repro.eval.area import pla_area
+from repro.eval.instantiate import EncodedPLA, evaluate_encoding, instantiate
 from repro.eval.multilevel import factored_literals, multilevel_literals
 
 __all__ = [

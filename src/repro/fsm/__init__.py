@@ -1,10 +1,10 @@
 """Finite state machine substrate: representation, KISS2 I/O, benchmarks."""
 
-from repro.fsm.machine import FSM, Transition
-from repro.fsm.kiss import parse_kiss, to_kiss
-from repro.fsm.symbolic_cover import SymbolicCover, build_symbolic_cover
-from repro.fsm.benchmarks import benchmark, benchmark_names, benchmark_table
 from repro.fsm.analysis import StgStats, analyze, to_dot
+from repro.fsm.benchmarks import benchmark, benchmark_names, benchmark_table
+from repro.fsm.kiss import parse_kiss, to_kiss
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.symbolic_cover import SymbolicCover, build_symbolic_cover
 
 __all__ = [
     "FSM",

@@ -8,8 +8,8 @@ transition graph statistics, and Graphviz export for inspection.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+import itertools
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fsm.machine import FSM, Transition

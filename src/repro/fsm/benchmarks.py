@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.fsm.machine import FSM, Transition
 from repro.fsm.generator import generate_fsm
+from repro.fsm.machine import FSM, Transition
 
 # name -> (binary inputs, symbolic values, outputs, states, target products)
 _SPECS: Dict[str, Tuple[int, int, int, int, int]] = {

@@ -168,7 +168,8 @@ class FSM:
         }
 
     def __repr__(self) -> str:
-        sym = f", sym={len(self.symbolic_input_values)}" if self.has_symbolic_input else ""
+        sym = (f", sym={len(self.symbolic_input_values)}"
+               if self.has_symbolic_input else "")
         return (
             f"FSM({self.name!r}: {self.num_inputs} in, {self.num_outputs} out, "
             f"{self.num_states} states, {len(self.transitions)} rows{sym})"

@@ -19,8 +19,8 @@ from typing import List, Optional
 
 from repro.errors import ConstraintError
 from repro.fsm.machine import FSM
-from repro.logic.cube import Format
 from repro.logic.cover import Cover
+from repro.logic.cube import Format
 
 
 @dataclass

@@ -8,8 +8,8 @@ minimization loop, including ``minimize(on, dc, off)`` with an explicit
 off-set as required by symbolic minimization.
 """
 
-from repro.logic.cube import Format
 from repro.logic.cover import Cover
+from repro.logic.cube import Format
 from repro.logic.espresso import espresso, minimize
 from repro.logic.exact import all_primes, exact_minimize
 from repro.logic.pla_io import PLA, parse_pla, write_pla

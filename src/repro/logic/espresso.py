@@ -23,8 +23,9 @@ import time
 from typing import Optional
 
 from repro import perf
+from repro.errors import BudgetExhausted
 from repro.logic.cover import Cover
-from repro.perf.budget import Budget
+from repro.perf.budget import Budget, ambient, tick
 
 
 def _is_implicant(cube: int, on_dc: Cover) -> bool:
@@ -61,6 +62,7 @@ def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
         stats.expand_cubes += 1
         stats.expand_attempts += len(candidates)
     for bit in candidates:
+        tick()
         grown = cube | (1 << bit)
         if off is not None:
             ok = _valid_against_off(grown, off)
@@ -82,6 +84,7 @@ def expand(f: Cover, on_dc: Cover, off: Optional[Cover] = None) -> Cover:
     covered = [False] * len(f.cubes)
     out = Cover(fmt)
     for i in order:
+        tick()
         if covered[i]:
             continue
         prime = _expand_cube(f.cubes[i], on_dc, off)
@@ -99,6 +102,7 @@ def irredundant(f: Cover, dc: Optional[Cover] = None) -> Cover:
     kept = list(cubes)
     i = 0
     while i < len(kept):
+        tick()
         c = kept[i]
         rest = Cover(fmt)
         rest.cubes = kept[:i] + kept[i + 1:]
@@ -129,6 +133,7 @@ def reduce_cover(
     # reduce large cubes first, as espresso does (LASTGASP: smallest first)
     cubes = sorted(f.cubes, key=fmt.minterm_count, reverse=largest_first)
     for i in range(len(cubes)):
+        tick()
         c = cubes[i]
         rest = Cover(fmt)
         rest.cubes = cubes[:i] + cubes[i + 1:]
@@ -201,36 +206,46 @@ def espresso(
         return f
     best = f
     best_cost = f.cost()
-    for _ in range(max_iter):
-        if budget is not None and budget.expired():
-            break
-        f = _one_pass(best, dc, on_dc, off)
-        if stats is not None:
-            stats.espresso_passes += 1
-        cost = f.cost()
-        if cost < best_cost:
-            best, best_cost = f, cost
-            continue
-        if cost == best_cost:
-            # a tie is as good as the incumbent and is the fixpoint the
-            # next pass would start from — keep it instead of discarding
-            best = f
-        if budget is not None and budget.expired():
-            break
-        # LASTGASP: one retry with the reversed reduce ordering before
-        # giving up; accept only a strict improvement
-        if stats is not None:
-            stats.lastgasp_attempts += 1
-        g = _one_pass(best, dc, on_dc, off, largest_first=False)
-        if stats is not None:
-            stats.espresso_passes += 1
-        g_cost = g.cost()
-        if g_cost < best_cost:
-            if stats is not None:
-                stats.lastgasp_wins += 1
-            best, best_cost = g, g_cost
-            continue
-        break
+    # the improvement loop runs with the budget's deadline installed as
+    # the ambient tick target, so the per-cube ticks inside the passes
+    # can interrupt a runaway REDUCE/EXPAND; the incumbent `best` is a
+    # complete valid cover at all times, so a mid-pass interruption just
+    # means returning it early
+    try:
+        with ambient(budget):
+            for _ in range(max_iter):
+                if budget is not None and budget.expired():
+                    break
+                f = _one_pass(best, dc, on_dc, off)
+                if stats is not None:
+                    stats.espresso_passes += 1
+                cost = f.cost()
+                if cost < best_cost:
+                    best, best_cost = f, cost
+                    continue
+                if cost == best_cost:
+                    # a tie is as good as the incumbent and is the
+                    # fixpoint the next pass would start from — keep it
+                    # instead of discarding
+                    best = f
+                if budget is not None and budget.expired():
+                    break
+                # LASTGASP: one retry with the reversed reduce ordering
+                # before giving up; accept only a strict improvement
+                if stats is not None:
+                    stats.lastgasp_attempts += 1
+                g = _one_pass(best, dc, on_dc, off, largest_first=False)
+                if stats is not None:
+                    stats.espresso_passes += 1
+                g_cost = g.cost()
+                if g_cost < best_cost:
+                    if stats is not None:
+                        stats.lastgasp_wins += 1
+                    best, best_cost = g, g_cost
+                    continue
+                break
+    except BudgetExhausted:
+        pass  # deadline mid-pass: degrade to the incumbent cover
     if stats is not None:
         stats.add_time("espresso", time.perf_counter() - t0)
     return best

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from repro import perf
 from repro.logic.cover import Cover
+from repro.perf.budget import tick
 
 # kill-switch for the unate reductions, used by the substrate benches to
 # measure how many URP recursions the reductions save
@@ -148,6 +149,7 @@ def _tautology_rec(cover: Cover, depth: int, stats) -> bool:
     if var is None:
         return False  # non-universe cubes only; unreachable after checks
     for part in range(fmt.parts[var]):
+        tick()
         lit = fmt.literal(var, (part,))
         if not _tautology_rec(cover.cofactor(lit), depth + 1, stats):
             return False
@@ -221,6 +223,7 @@ def _complement_rec(cover: Cover, depth: int = 1, stats=None) -> Cover:
     if var is None:
         return out  # all cubes universe; handled above
     for part in range(fmt.parts[var]):
+        tick()
         lit = fmt.literal(var, (part,))
         sub = _complement_rec(cover.cofactor(lit), depth + 1, stats)
         for c in sub.cubes:

@@ -27,9 +27,9 @@ timers accumulate into ``stats.timers`` via :func:`timer`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 import os
 import time
-from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from repro.errors import BudgetExhausted

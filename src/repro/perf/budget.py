@@ -23,8 +23,9 @@ tight backtracking loops.
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.errors import BudgetExhausted
 
@@ -145,3 +146,50 @@ class Budget:
         return (f"Budget(work={self.work}/{self.max_work}, "
                 f"remaining={self.remaining_seconds()}, "
                 f"stage={self.stage!r})")
+
+
+# ----------------------------------------------------------------------
+# ambient budget: metering for loops with no budget in scope
+# ----------------------------------------------------------------------
+#: The budget :func:`tick` charges, installed by :func:`ambient`.
+#: ``None`` (the default) makes every tick a near-free no-op, so leaf
+#: helpers — the espresso passes, the URP recursions — can tick
+#: unconditionally without threading a ``budget=`` parameter through
+#: every signature.
+_AMBIENT: Optional[Budget] = None
+
+
+def tick(n: int = 1) -> None:
+    """Charge the ambient budget, if one is installed.
+
+    The deadline-only budgets that :func:`ambient` installs make a tick
+    a pure liveness poll: it can interrupt a runaway loop but never
+    changes *what* a bounded search computes, so adding ticks to a
+    helper cannot perturb cached results.
+    """
+    b = _AMBIENT
+    if b is not None:
+        b.charge(n)
+
+
+@contextlib.contextmanager
+def ambient(budget: Optional[Budget]) -> Iterator[None]:
+    """Install *budget* as the ambient tick target for this block.
+
+    Only the budget's *deadline* is shared with the ambient view — its
+    work cap stays private to the explicit ``charge()`` call sites, so
+    the paper's ``max_work`` search-size semantics are unchanged no
+    matter how many ticks run inside the block.  Nesting restores the
+    previous ambient budget on exit.  ``ambient(None)`` is a no-op
+    block, convenient for optional-budget call sites.
+    """
+    global _AMBIENT
+    if budget is None or budget.deadline is None:
+        yield
+        return
+    prev = _AMBIENT
+    _AMBIENT = Budget(deadline=budget.deadline, stage=budget.stage)
+    try:
+        yield
+    finally:
+        _AMBIENT = prev

@@ -19,9 +19,9 @@ A batch run directory holds exactly two files the engine owns:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import json
 import os
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 

@@ -27,10 +27,10 @@ The plan records every firing in ``plan.fired`` for assertions.
 from __future__ import annotations
 
 import builtins
-import os
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+import os
+import time
 from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
 
 from repro.errors import ERROR_CLASSES, ReproError

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import List, Set, Tuple
+from typing import List, Set
 
 import pytest
 

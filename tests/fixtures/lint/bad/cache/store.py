@@ -1,0 +1,8 @@
+"""NV003 fixture: a blob published with a raw truncating write."""
+
+import json
+
+
+def dump_blob(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)

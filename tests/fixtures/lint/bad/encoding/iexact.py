@@ -1,0 +1,10 @@
+"""NV002 fixture: a search loop that never polls the budget."""
+
+
+def search(candidates, expand_face):
+    best = None
+    for face in candidates:
+        grown = expand_face(face)
+        if best is None or grown < best:
+            best = grown
+    return best

@@ -1,0 +1,17 @@
+"""NV004 fixture: a stage module leaking non-taxonomy errors."""
+
+
+def igreedy_code(cs, nbits):
+    if nbits < 1:
+        raise ValueError("nbits must be positive")
+    try:
+        return _solve(cs, nbits)
+    except:
+        return None
+
+
+def _solve(cs, nbits):
+    try:
+        return cs.solve(nbits)
+    except Exception:
+        return None

@@ -1,0 +1,11 @@
+"""NV005 fixture: a baseline seeding itself from ambient state."""
+
+import random
+import time
+
+
+def random_code(n):
+    rng = random.Random()
+    codes = list(range(n))
+    random.shuffle(codes)
+    return codes, rng, time.time()

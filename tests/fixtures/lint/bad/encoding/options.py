@@ -1,0 +1,24 @@
+"""NV001 fixture: the fingerprint silently drops a result-affecting field."""
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+NON_FINGERPRINT_FIELDS = frozenset({"cache"})
+
+
+@dataclass(frozen=True)
+class EncodeOptions:
+    algorithm: str = "ihybrid"
+    seed: Optional[int] = None
+    timeout: Optional[float] = None
+    cache: str = "auto"
+
+    def fingerprint_fields(self) -> Tuple[Tuple[str, Any], ...]:
+        # "timeout" is excluded here but never whitelisted: a timeout
+        # change would serve stale cache entries.
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in dataclasses.fields(self)
+            if f.name not in {"cache", "timeout"}
+        )

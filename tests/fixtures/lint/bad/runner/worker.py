@@ -1,0 +1,11 @@
+"""NV006 fixture: a worker module with import-time side effects."""
+
+import os
+
+CONFIG = os.environ.copy()
+
+print("worker module loaded")
+
+
+def child_main(conn):
+    return CONFIG

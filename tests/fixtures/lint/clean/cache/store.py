@@ -1,0 +1,16 @@
+"""NV003 fixture: atomic publish inside the blessed DiskStore.put."""
+
+import json
+import os
+
+
+class DiskStore:
+    def put(self, path, payload):
+        data = json.dumps(payload)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return len(data)

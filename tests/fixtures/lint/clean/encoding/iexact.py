@@ -1,0 +1,13 @@
+"""NV002 fixture: the same loop, metered by the ambient budget."""
+
+from repro.perf.budget import tick
+
+
+def search(candidates, expand_face):
+    best = None
+    for face in candidates:
+        tick()
+        grown = expand_face(face)
+        if best is None or grown < best:
+            best = grown
+    return best

@@ -1,0 +1,16 @@
+"""NV004 fixture: errors stay inside the ReproError taxonomy."""
+
+from repro.errors import ConstraintError, EncodingInfeasible
+
+
+def igreedy_code(cs, nbits):
+    if nbits < 1:
+        raise EncodingInfeasible("nbits must be positive")
+    return _solve(cs, nbits)
+
+
+def _solve(cs, nbits):
+    try:
+        return cs.solve(nbits)
+    except Exception as exc:
+        raise ConstraintError(str(exc)) from exc

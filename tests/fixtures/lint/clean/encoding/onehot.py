@@ -1,0 +1,10 @@
+"""NV005 fixture: randomness flows through an explicitly seeded object."""
+
+import random
+
+
+def random_code(n, seed):
+    rng = random.Random(seed)
+    codes = list(range(n))
+    rng.shuffle(codes)
+    return codes

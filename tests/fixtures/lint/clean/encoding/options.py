@@ -1,0 +1,22 @@
+"""NV001 fixture: every field fingerprinted or explicitly whitelisted."""
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+NON_FINGERPRINT_FIELDS = frozenset({"cache"})
+
+
+@dataclass(frozen=True)
+class EncodeOptions:
+    algorithm: str = "ihybrid"
+    seed: Optional[int] = None
+    timeout: Optional[float] = None
+    cache: str = "auto"
+
+    def fingerprint_fields(self) -> Tuple[Tuple[str, Any], ...]:
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in dataclasses.fields(self)
+            if f.name not in NON_FINGERPRINT_FIELDS
+        )

@@ -1,0 +1,14 @@
+"""NV006 fixture: an import-clean worker module."""
+
+import os
+
+DEFAULT_TIMEOUT = 30.0
+_KINDS = frozenset({"encode", "table"})
+
+
+def child_main(conn):
+    return os.getpid()
+
+
+if __name__ == "__main__":
+    child_main(None)

@@ -1,7 +1,5 @@
 """Tests for the KISS, MUSTANG, and random baselines."""
 
-import random
-
 import pytest
 
 from repro.baselines.kiss import kiss_code
@@ -13,6 +11,7 @@ from repro.encoding.base import constraint_satisfied
 from repro.fsm.benchmarks import benchmark
 from repro.fsm.machine import minimum_code_length
 from repro.fsm.symbolic_cover import build_symbolic_cover
+
 from tests.conftest import PAPER_WEIGHTS, paper_constraint_masks
 
 

@@ -1,13 +1,15 @@
 """Tests for the benchmark suite and the synthetic generator."""
 
+import random
+
 import pytest
 
 from repro.fsm.benchmarks import (
+    _SPECS,
     PAPER30,
     SMALL,
     TABLE5,
     TABLE7,
-    _SPECS,
     benchmark,
     benchmark_names,
     benchmark_table,
@@ -15,8 +17,6 @@ from repro.fsm.benchmarks import (
 )
 from repro.fsm.generator import _split_input_space, generate_fsm
 from repro.fsm.symbolic_cover import build_symbolic_cover
-
-import random
 
 
 class TestGenerator:
@@ -120,8 +120,6 @@ class TestBenchmarks:
 
     def test_on_off_disjoint(self):
         """The explicit off-set must never clash with the on-set."""
-        from repro.logic.verify import covers_equivalent
-
         for name in ("lion", "bbtas", "dk27", "shiftreg", "ex3", "beecount"):
             sc = build_symbolic_cover(benchmark(name))
             for on_cube in sc.on.cubes:

@@ -17,7 +17,7 @@ import pytest
 from repro import cache as cache_mod
 from repro import perf
 from repro.cache.codec import CacheDecodeError, decode_result, encode_result
-from repro.cache.store import DiskStore, EncodeCache, MemoryLRU
+from repro.cache.store import DiskStore, MemoryLRU
 from repro.encoding.nova import encode_fsm
 from repro.encoding.options import EncodeOptions
 from repro.fsm.benchmarks import benchmark, benchmark_names

@@ -2,12 +2,13 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.logic.cover import Cover, from_strings
 from repro.logic.cube import Format
+
 from tests.conftest import cover_minterms, random_cover
 
 

@@ -11,11 +11,10 @@ import pytest
 
 from repro.fsm.benchmarks import benchmark
 from repro.fsm.symbolic_cover import build_symbolic_cover
-from repro.logic.cover import Cover
 from repro.logic.espresso import espresso
 from repro.logic.exact import TooLarge, exact_minimize
 from repro.logic.urp import complement, tautology
-from repro.logic.verify import covers_equivalent, verify_minimization
+from repro.logic.verify import verify_minimization
 
 
 class TestOracleAgreement:

@@ -1,12 +1,11 @@
 """Unit and property tests for positional-cube algebra."""
 
-import random
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.logic.cube import Format, binary_format
+
 from tests.conftest import enumerate_minterms
 
 

@@ -1,8 +1,8 @@
 """Tests for the Encoding type and satisfaction predicates."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.constraints.input_constraints import ConstraintSet
 from repro.encoding.base import (

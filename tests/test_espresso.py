@@ -15,6 +15,7 @@ from repro.logic.espresso import (
     reduce_cover,
 )
 from repro.logic.verify import covers_equivalent, verify_minimization
+
 from tests.conftest import cover_minterms, random_cover
 
 

@@ -22,6 +22,7 @@ from repro.logic.cover import Cover
 from repro.logic.cube import Format
 from repro.logic.espresso import espresso, minimize
 from repro.perf.budget import Budget
+
 from tests.conftest import cover_minterms, enumerate_minterms, random_cover
 
 FORMATS = [

@@ -2,15 +2,16 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.logic.cover import Cover, from_strings
 from repro.logic.cube import Format
 from repro.logic.espresso import espresso
 from repro.logic.exact import TooLarge, all_primes, exact_minimize
-from repro.logic.verify import covers_equivalent, verify_minimization
+from repro.logic.verify import verify_minimization
+
 from tests.conftest import cover_minterms, enumerate_minterms, random_cover
 
 

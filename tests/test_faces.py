@@ -1,8 +1,8 @@
 """Tests for the face algebra on the encoding k-cube."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.constraints.faces import (
     Face,

@@ -13,7 +13,6 @@ from repro.encoding.verify import verify_encoded_machine
 from repro.errors import (
     BudgetExhausted,
     ParseError,
-    ReproError,
     VerificationError,
 )
 from repro.fsm.benchmarks import benchmark, benchmark_names

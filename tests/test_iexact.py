@@ -1,11 +1,11 @@
 """Tests for iexact_code / semiexact_code and the counting lower bounds."""
 
-import random
 from itertools import permutations
+import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.constraints.input_constraints import ConstraintSet
 from repro.constraints.poset import InputGraph
@@ -20,6 +20,7 @@ from repro.encoding.iexact import (
     semiexact_code,
 )
 from repro.fsm.machine import minimum_code_length
+
 from tests.conftest import paper_constraint_masks
 
 
@@ -133,8 +134,6 @@ class TestIexact:
 
 def brute_force_min_k(masks, n, k_max=4):
     """Smallest k admitting codes satisfying all constraints (brute)."""
-    from repro.constraints.faces import Face
-
     for k in range(minimum_code_length(n), k_max + 1):
         for combo in permutations(range(1 << k), n):
             ok = True

@@ -6,9 +6,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.constraints.input_constraints import ConstraintSet
-from repro.encoding.base import constraint_satisfied, satisfied_weight
+from repro.encoding.base import constraint_satisfied
 from repro.encoding.igreedy import igreedy_code
 from repro.fsm.machine import minimum_code_length
+
 from tests.conftest import PAPER_WEIGHTS, paper_constraint_masks
 
 

@@ -2,14 +2,15 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.constraints.input_constraints import ConstraintSet
 from repro.encoding.base import constraint_satisfied, satisfied_weight
 from repro.encoding.ihybrid import HybridStats, ihybrid_code
 from repro.fsm.machine import minimum_code_length
+
 from tests.conftest import PAPER_WEIGHTS, paper_constraint_masks
 
 

@@ -2,9 +2,9 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.constraints.input_constraints import ConstraintSet
 from repro.constraints.output_constraints import (

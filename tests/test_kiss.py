@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fsm.kiss import parse_kiss, to_kiss
-from repro.fsm.machine import Transition
 
 LION_KISS = """
 # a classic cattle-crossing controller

@@ -1,0 +1,262 @@
+"""Tests for the ``nova lint`` static-analysis subsystem.
+
+Three layers: the engine (suppressions, NV000, JSON shape), each rule
+against a bad/clean fixture pair under ``tests/fixtures/lint/``, and
+the self-check — the shipping tree must lint clean, and reverting a
+checked invariant in a copy of the real sources must trip the linter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    REGISTRY,
+    default_config,
+    instantiate_rules,
+    lint_paths,
+    parse_suppressions,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+ALL_RULES = ("NV001", "NV002", "NV003", "NV004", "NV005", "NV006")
+
+
+def lint_tree(root):
+    return lint_paths([root], display_root=Path(root))
+
+
+class TestRegistry:
+    def test_ships_at_least_six_rules(self):
+        assert set(ALL_RULES) <= set(REGISTRY)
+        assert len(REGISTRY) >= 6
+
+    def test_every_rule_has_a_title(self):
+        for rule in instantiate_rules():
+            assert rule.title, rule.id
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError, match="NV999"):
+            instantiate_rules(["NV999"])
+
+
+class TestFixtures:
+    def test_bad_tree_trips_every_rule(self):
+        result = lint_tree(FIXTURES / "bad")
+        assert not result.ok
+        tripped = {f.rule for f in result.findings}
+        assert tripped == set(ALL_RULES)
+
+    def test_clean_tree_passes(self):
+        result = lint_tree(FIXTURES / "clean")
+        assert result.ok, [f.render() for f in result.findings]
+        assert result.files >= 6
+
+    def test_findings_name_file_and_line(self):
+        result = lint_tree(FIXTURES / "bad")
+        by_rule = {f.rule: f for f in result.findings}
+        assert by_rule["NV001"].path.endswith("encoding/options.py")
+        assert "'timeout'" in by_rule["NV001"].message
+        assert by_rule["NV002"].path.endswith("encoding/iexact.py")
+        assert by_rule["NV003"].path.endswith("cache/store.py")
+        assert by_rule["NV004"].path.endswith("encoding/igreedy.py")
+        assert by_rule["NV005"].path.endswith("encoding/onehot.py")
+        assert by_rule["NV006"].path.endswith("runner/worker.py")
+        for f in result.findings:
+            assert f.line >= 1
+            assert f.message
+
+    def test_nv004_catches_all_three_shapes(self):
+        result = lint_tree(FIXTURES / "bad")
+        messages = [f.message for f in result.findings if f.rule == "NV004"]
+        assert len(messages) == 3
+        assert any("bare" in m for m in messages)
+        assert any("swallows" in m for m in messages)
+        assert any("ValueError" in m for m in messages)
+
+    def test_rules_subset_only_runs_those(self):
+        rules = instantiate_rules(["NV005"])
+        result = lint_paths([FIXTURES / "bad"], rules=rules,
+                            display_root=FIXTURES / "bad")
+        assert {f.rule for f in result.findings} == {"NV005"}
+
+
+class TestSuppressions:
+    def write(self, tmp_path, rel, source):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return tmp_path
+
+    def test_inline_suppression_with_reason(self, tmp_path):
+        root = self.write(tmp_path, "encoding/onehot.py", (
+            "import time\n"
+            "def f():\n"
+            "    return time.time()"
+            "  # nova-lint: disable=NV005 -- wall clock wanted here\n"
+        ))
+        result = lint_tree(root)
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_standalone_suppression_covers_next_code_line(self, tmp_path):
+        root = self.write(tmp_path, "encoding/onehot.py", (
+            "import time\n"
+            "def f():\n"
+            "    # nova-lint: disable=NV005 -- wall clock wanted here,\n"
+            "    # with a justification spanning two comment lines\n"
+            "    return time.time()\n"
+        ))
+        result = lint_tree(root)
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_suppression_without_reason_is_rejected(self, tmp_path):
+        root = self.write(tmp_path, "encoding/onehot.py", (
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # nova-lint: disable=NV005\n"
+        ))
+        result = lint_tree(root)
+        rules = sorted(f.rule for f in result.findings)
+        # the finding survives AND the directive itself is flagged
+        assert rules == ["NV000", "NV005"]
+
+    def test_suppression_for_other_rule_does_not_cover(self, tmp_path):
+        root = self.write(tmp_path, "encoding/onehot.py", (
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # nova-lint: disable=NV002 -- nope\n"
+        ))
+        result = lint_tree(root)
+        assert [f.rule for f in result.findings] == ["NV005"]
+
+    def test_unknown_rule_id_in_directive(self, tmp_path):
+        root = self.write(tmp_path, "encoding/onehot.py", (
+            "x = 1  # nova-lint: disable=NV42 -- typo'd id\n"
+        ))
+        result = lint_tree(root)
+        assert [f.rule for f in result.findings] == ["NV000"]
+        assert "NV42" in result.findings[0].message
+
+    def test_parse_suppressions(self):
+        sups = parse_suppressions(
+            "a = 1  # nova-lint: disable=NV001,NV002 -- because\n"
+            "# nova-lint: disable=NV003 -- standalone\n"
+            "b = 2\n"
+        )
+        assert len(sups) == 2
+        assert sups[0].rules == ("NV001", "NV002")
+        assert sups[0].reason == "because"
+        assert not sups[0].standalone
+        assert sups[1].standalone
+
+    def test_unparseable_file_is_a_finding(self, tmp_path):
+        root = self.write(tmp_path, "encoding/broken.py", "def f(:\n")
+        result = lint_tree(root)
+        assert [f.rule for f in result.findings] == ["NV000"]
+        assert "could not parse" in result.findings[0].message
+
+
+class TestSelfCheck:
+    """The shipping tree holds its own invariants."""
+
+    def test_src_repro_is_lint_clean(self):
+        result = lint_paths([REPO_SRC])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert result.files > 50
+
+    def test_every_suppression_in_tree_has_a_reason(self):
+        for path in sorted(REPO_SRC.rglob("*.py")):
+            for sup in parse_suppressions(path.read_text()):
+                assert sup.reason, f"{path}:{sup.line} lacks a reason"
+
+    def test_removing_fingerprint_field_is_caught(self, tmp_path):
+        source = (REPO_SRC / "encoding" / "options.py").read_text()
+        needle = "if f.name not in NON_FINGERPRINT_FIELDS"
+        assert needle in source
+        broken = source.replace(
+            needle, needle + '\n            and f.name != "seed"')
+        target = tmp_path / "encoding" / "options.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(broken)
+        result = lint_tree(tmp_path)
+        hits = [f for f in result.findings if f.rule == "NV001"]
+        assert hits, "dropping 'seed' from the fingerprint went unnoticed"
+        assert "'seed'" in hits[0].message
+        assert hits[0].path.endswith("encoding/options.py")
+        assert hits[0].line >= 1
+
+    def test_deleting_budget_tick_is_caught(self, tmp_path):
+        source = (REPO_SRC / "encoding" / "iexact.py").read_text()
+        assert "        tick()\n" in source
+        broken = source.replace("        tick()\n", "", 1)
+        target = tmp_path / "encoding" / "iexact.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(broken)
+        result = lint_tree(tmp_path)
+        hits = [f for f in result.findings if f.rule == "NV002"]
+        assert hits, "deleting a budget tick went unnoticed"
+        assert hits[0].path.endswith("encoding/iexact.py")
+        assert hits[0].line >= 1
+
+    def test_default_config_scopes_every_rule(self):
+        cfg = default_config()
+        for rule_id in ("NV001", "NV002", "NV003", "NV005", "NV006"):
+            assert cfg.rule_paths.get(rule_id)
+        assert cfg.rule_paths.get("NV004-stages")
+
+
+class TestCli:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "clean")]) == 0
+        err = capsys.readouterr().err
+        assert "0 finding(s)" in err
+
+    def test_lint_bad_tree_exits_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad")]) == 1
+        out = capsys.readouterr().out
+        assert "NV001" in out
+        assert "encoding/options.py" in out
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad"), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files"] >= 6
+        assert set(payload["counts"]) == set(ALL_RULES)
+        first = payload["findings"][0]
+        assert {"rule", "path", "line", "col", "message",
+                "severity"} <= set(first)
+
+    def test_lint_rules_filter(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad"),
+                     "--rules", "NV006", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"NV006"}
+
+    def test_lint_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad"),
+                     "--rules", "NV999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_without_paths_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULES:
+            assert rule_id in out
+
+    def test_real_tree_through_cli(self, capsys):
+        assert main(["lint", str(REPO_SRC), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []

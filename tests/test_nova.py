@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.encoding.nova import ALGORITHMS, encode_fsm
+from repro.encoding.nova import encode_fsm
 from repro.fsm.benchmarks import benchmark
 from repro.fsm.machine import minimum_code_length
 

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.logic.cube import Format
 from repro.logic.pla_io import parse_pla, write_pla
 from repro.logic.verify import covers_equivalent
+
 from tests.conftest import random_cover
 
 

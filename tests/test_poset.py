@@ -1,6 +1,7 @@
 """Tests for the input poset / input graph, against the paper's examples."""
 
 from repro.constraints.poset import InputGraph, closure_intersection
+
 from tests.conftest import paper_constraint_masks
 
 

@@ -2,8 +2,6 @@
 
 import itertools
 
-import pytest
-
 from repro.fsm.benchmarks import benchmark
 from repro.fsm.machine import FSM, Transition
 from repro.fsm.reduce import equivalent_state_classes, minimize_states

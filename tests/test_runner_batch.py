@@ -7,12 +7,12 @@ real child Python process and SIGKILLs it mid-run.
 
 import json
 import os
+from pathlib import Path
 import signal
 import subprocess
 import sys
 import textwrap
 import time
-from pathlib import Path
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Durability of the batch journal and the run manifest."""
 
 import json
-import os
 
 import pytest
 

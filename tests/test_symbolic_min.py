@@ -1,7 +1,5 @@
 """Tests for symbolic minimization (§6.1)."""
 
-import pytest
-
 from repro.fsm import benchmark, build_symbolic_cover
 from repro.fsm.machine import FSM, Transition
 from repro.symbolic.symbolic_min import symbolic_minimize

@@ -1,7 +1,5 @@
 """Tests for the experiment harness (table/figure regeneration)."""
 
-import pytest
-
 from repro.eval.tables import (
     CAPPUCCINO,
     format_table,

@@ -10,6 +10,7 @@ from repro.logic import urp
 from repro.logic.cover import Cover, from_strings
 from repro.logic.cube import Format
 from repro.logic.urp import complement, tautology
+
 from tests.conftest import cover_minterms, enumerate_minterms, random_cover
 
 

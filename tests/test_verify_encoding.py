@@ -5,7 +5,7 @@ import pytest
 from repro.encoding.base import Encoding
 from repro.encoding.nova import encode_fsm
 from repro.encoding.verify import verify_encoded_machine
-from repro.eval.instantiate import EncodedPLA, evaluate_encoding
+from repro.eval.instantiate import EncodedPLA
 from repro.fsm.benchmarks import benchmark
 from repro.logic.cover import Cover
 
