@@ -3,6 +3,10 @@
 Not a table of the paper, but the measurements DESIGN.md calls out for
 the design choices that make the pure-Python reproduction feasible:
 
+* the cover-kernel suite: per-cube reference loops (the pre-6.x idiom)
+  vs the batched :mod:`repro.logic.backend` kernels on four
+  representative machines, with a geometric-mean speedup gate when the
+  numpy substrate is active (see DESIGN.md §6.9);
 * espresso with an explicit off-set vs tautology-based implicant checks
   (the off-set construction from deterministic rows is what keeps the
   encoded-cover minimization fast);
@@ -10,6 +14,10 @@ the design choices that make the pure-Python reproduction feasible:
 * semiexact_code throughput (the inner loop of ihybrid);
 * symbolic minimization stage cost.
 """
+
+import math
+import time
+from typing import Callable, Dict, List, Tuple
 
 import pytest
 
@@ -19,13 +27,187 @@ from repro.encoding.iexact import semiexact_code
 from repro.encoding.nova import encode_fsm
 from repro.fsm.benchmarks import benchmark as get_machine
 from repro.fsm.symbolic_cover import build_symbolic_cover
+from repro.logic import backend
 from repro.logic import cover as cover_mod
 from repro.logic import urp
 from repro.logic.espresso import espresso
 from repro.logic.urp import tautology
 from repro.symbolic.symbolic_min import symbolic_minimize
 
-from conftest import record
+from conftest import note, record
+
+# ---------------------------------------------------------------------------
+# cover-kernel suite
+# ---------------------------------------------------------------------------
+
+# four machines spanning the format shapes the kernels must cover:
+# keyb (1 packed word, large cover), planet (3 words), styr (2 words),
+# dk16 (1 word, MV-heavy state variable)
+KERNEL_MACHINES = ("keyb", "planet", "styr", "dk16")
+KERNEL_REPEATS = 5
+KERNEL_MIN_SPEEDUP = 3.0  # geometric mean, numpy substrate only
+
+_kernel_ratios: List[float] = []
+
+
+def _best_of(fn: Callable[[], object], repeats: int = KERNEL_REPEATS) -> float:
+    fn()  # warm-up (also builds packing tables / lazy complements)
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _reference_ops(sc) -> Dict[str, Tuple[Callable, Callable]]:
+    """(per-cube reference, batched kernel) pairs computing identical work.
+
+    The reference side is the pre-6.x per-cube idiom, inlined verbatim;
+    the kernel side is what the substrate's hot callers run now —
+    including the pack-once-reuse pattern of espresso's expand and
+    all_primes (``K.pack`` outside the timed region, exactly where the
+    production callers hold a packed pool across many queries).
+    """
+    fmt = sc.fmt
+    big = sc.on + sc.dc + sc.off
+    cubes = big.cubes
+    off_cubes = sc.off.cubes
+    probes = sc.on.cubes[:32]
+    K = backend.kernels
+    pool = K.pack(fmt, cubes)
+    off_pool = K.pack(fmt, off_cubes)
+    raise_mask = fmt.universe
+    seed = probes[0]
+    raises = [seed | (1 << b) for b in range(fmt.width)
+              if not (seed >> b) & 1]
+
+    def ref_cofactor():
+        out = []
+        for q in probes:
+            rm = raise_mask & ~q
+            out.append([c | rm for c in cubes if fmt.intersects(c, q)])
+        return out
+
+    def new_cofactor():
+        return [K.cofactor(fmt, cubes, q) for q in probes]
+
+    def ref_intersect():
+        out = []
+        for q in probes:
+            row = []
+            for c in cubes:
+                r = c & q
+                if not fmt.is_empty(r):
+                    row.append(r)
+            out.append(row)
+        return out
+
+    def new_intersect():
+        return [K.intersect_cube(fmt, cubes, q) for q in probes]
+
+    dup = cubes + cubes[: len(cubes) // 2]
+
+    def ref_scc():
+        order = sorted(set(dup), key=lambda c: (-fmt.minterm_count(c), c))
+        kept: List[int] = []
+        kept_pc: List[int] = []
+        for c in order:
+            pc = c.bit_count()
+            for k, kpc in zip(kept, kept_pc):
+                if kpc > pc and c & ~k == 0:
+                    break
+            else:
+                kept.append(c)
+                kept_pc.append(pc)
+        return kept
+
+    def new_scc():
+        return K.single_cube_containment(fmt, dup)
+
+    def ref_contain():
+        return [any(q & ~k == 0 for k in cubes) for q in cubes]
+
+    def new_contain():
+        return [K.contain_any(fmt, pool, q) for q in cubes]
+
+    def ref_intersects():
+        return [any(fmt.intersects(q, o) for o in off_cubes) for q in cubes]
+
+    def new_intersects():
+        return [K.any_intersects(fmt, off_pool, q) for q in cubes]
+
+    def ref_blocking():
+        return [sum(1 for o in off_cubes if fmt.intersects(o, q))
+                for q in raises]
+
+    def new_blocking():
+        return K.intersect_counts(fmt, off_pool, raises)
+
+    masks = fmt.masks
+
+    def ref_consensus():
+        out = []
+        for q in probes:
+            row: List[int] = []
+            for b in cubes:
+                inter = q & b
+                empty = [m for m in masks if not inter & m]
+                if len(empty) > 1:
+                    continue
+                union = q | b
+                if len(empty) == 1:
+                    c = (inter & ~empty[0]) | (union & empty[0])
+                    if not fmt.is_empty(c):
+                        row.append(c)
+                    continue
+                for m in masks:
+                    row.append((inter & ~m) | (union & m))
+            out.append(row)
+        return out
+
+    def new_consensus():
+        return [K.consensus_scan(fmt, pool, q) for q in probes]
+
+    return {
+        "cofactor": (ref_cofactor, new_cofactor),
+        "intersect": (ref_intersect, new_intersect),
+        "scc": (ref_scc, new_scc),
+        "contain_any": (ref_contain, new_contain),
+        "any_intersects": (ref_intersects, new_intersects),
+        "blocking_counts": (ref_blocking, new_blocking),
+        "consensus": (ref_consensus, new_consensus),
+    }
+
+
+@pytest.mark.parametrize("machine", KERNEL_MACHINES)
+def test_cover_kernel_suite(machine):
+    """Bit-identity + speedup of the batched kernels vs per-cube loops."""
+    sc = build_symbolic_cover(get_machine(machine))
+    row = {"machine": machine, "backend": backend.ACTIVE,
+           "n_cubes": len(sc.on) + len(sc.dc) + len(sc.off),
+           "width": sc.fmt.width}
+    for name, (ref, new) in _reference_ops(sc).items():
+        assert ref() == new(), f"{machine}/{name}: kernel result differs"
+        t_ref = _best_of(ref)
+        t_new = _best_of(new)
+        ratio = t_ref / t_new
+        row[name] = round(ratio, 2)
+        _kernel_ratios.append(ratio)
+    record("substrate_kernels", row)
+
+
+def test_cover_kernel_speedup_gate():
+    """Geomean of the suite's ratios must clear KERNEL_MIN_SPEEDUP (numpy)."""
+    if backend.ACTIVE != "numpy":
+        pytest.skip("speedup gate applies to the numpy substrate only")
+    assert _kernel_ratios, "kernel suite did not run first"
+    geomean = math.exp(sum(map(math.log, _kernel_ratios))
+                       / len(_kernel_ratios))
+    note("substrate_kernels",
+         f"geomean speedup {geomean:.2f}x over {len(_kernel_ratios)} "
+         f"(machine, op) pairs; gate: >= {KERNEL_MIN_SPEEDUP}x")
+    assert geomean >= KERNEL_MIN_SPEEDUP
 
 
 @pytest.fixture(scope="module")

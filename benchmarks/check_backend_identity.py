@@ -1,0 +1,99 @@
+"""Bit-identity gate: every encode result must be substrate-independent.
+
+Runs the full 91-pair baseline — the 13 SMALL machines under each of
+the 7 deterministic NOVA algorithms — once per substrate backend and
+compares everything that fingerprints a result: state/symbol codes,
+cube count, area, constraint-satisfaction weights, and the emitted PLA
+text.  Wall-clock fields are excluded (they are the only thing allowed
+to differ).
+
+This is the acceptance check behind ``NOVA_SUBSTRATE``: the numpy
+packed kernels are an accelerator, never a different algorithm.  CI
+runs ``--quick`` (3 machines x 3 algorithms) on every push; the full
+matrix takes a few minutes.
+
+Exit status: 0 when every pair matches, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.encoding.nova import encode_fsm
+from repro.fsm.benchmarks import benchmark, benchmark_names
+from repro.logic import backend
+
+ALGORITHMS = ("iexact", "ihybrid", "igreedy", "iohybrid", "iovariant",
+              "kiss", "onehot")
+
+
+def signature(machine: str, algorithm: str) -> Dict[str, object]:
+    """Everything about an encode result that must not depend on the
+    substrate."""
+    res = encode_fsm(benchmark(machine), algorithm, cache="off")
+    return {
+        "codes": list(res.state_encoding.codes),
+        "nbits": res.state_encoding.nbits,
+        "cubes": res.cubes,
+        "area": res.area,
+        "satisfied_weight": res.satisfied_weight,
+        "unsatisfied_weight": res.unsatisfied_weight,
+        "mv_cover_size": res.mv_cover_size,
+        "pla_cover": list(res.pla.cover.cubes),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--machines", nargs="*", default=None,
+                        help="subset of machines (default: the SMALL set)")
+    parser.add_argument("--algorithms", nargs="*", default=None,
+                        help=f"subset of algorithms (default: all of "
+                             f"{', '.join(ALGORITHMS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="3 machines x 3 algorithms (CI smoke)")
+    args = parser.parse_args(argv)
+
+    if "numpy" not in backend.available_backends():
+        print("check_backend_identity: numpy not installed; "
+              "nothing to compare", file=sys.stderr)
+        return 0
+
+    machines = args.machines or benchmark_names("small")
+    algorithms = tuple(args.algorithms or ALGORITHMS)
+    if args.quick:
+        machines = machines[:3]
+        algorithms = algorithms[:3]
+
+    pairs: List[Tuple[str, str]] = [(m, a) for m in machines
+                                    for a in algorithms]
+    print(f"comparing {len(pairs)} (machine, algorithm) pairs "
+          f"under python vs numpy substrates")
+    t0 = time.perf_counter()
+    mismatches = []
+    for i, (m, a) in enumerate(pairs, 1):
+        with backend.use("python"):
+            ref = signature(m, a)
+        with backend.use("numpy"):
+            got = signature(m, a)
+        if ref != got:
+            bad = sorted(k for k in ref if ref[k] != got[k])
+            mismatches.append((m, a, bad))
+            print(f"  MISMATCH {m}/{a}: {', '.join(bad)}")
+        if i % 10 == 0 or i == len(pairs):
+            print(f"  {i}/{len(pairs)} checked "
+                  f"({time.perf_counter() - t0:.1f}s)")
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} of {len(pairs)} pairs differ "
+              f"between substrates")
+        return 1
+    print(f"OK: all {len(pairs)} pairs bit-identical across substrates "
+          f"({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from repro.constraints.faces import (
 from repro.constraints.input_constraints import ConstraintSet
 from repro.constraints.poset import InputGraph
 from repro.encoding.base import Encoding
+from repro.logic import backend
 from repro.perf.budget import Budget, BudgetExceeded, tick
 
 # an io_check receives (state, proposed code, codes fixed so far) and may
@@ -197,11 +198,13 @@ class _PosEquiv:
                 if not self.io_check(state, code, self.codes):
                     return False
             return True
-        # non-singleton: must contain exactly the member codes placed so far
-        for state, code in self.codes.items():
-            member = bool((ic >> state) & 1)
-            if face.contains_code(code) != member:
-                return False
+        # non-singleton: must contain exactly the member codes placed so
+        # far — one batched membership check over all placed codes
+        codes = self.codes
+        if codes and not backend.kernels.face_members_ok(
+                list(codes.keys()), list(codes.values()),
+                ic, face.care, face.val):
+            return False
         # sound forward pruning: two constraints sharing a state must get
         # intersecting faces -- the shared state's code will lie in both
         for other, of in self.enc.items():
@@ -332,10 +335,12 @@ class _PosEquiv:
         if region is None:
             return
         if self._is_singleton(ic):
-            # singleton faces are vertices: the state codes
+            # singleton faces are vertices: the state codes, enumerated
+            # in sorted order by one batched kernel call
             # nova-lint: disable=NV002 -- candidate generator; _search
             # charges the budget once per face it consumes from here
-            for code in sorted(region.vertices()):
+            for code in backend.kernels.face_vertices(
+                    self.k, region.care, region.val):
                 yield Face.vertex(self.k, code)
             return
         cat = ig.category(ic)
@@ -391,18 +396,19 @@ class _PosEquiv:
     def _final_check(self) -> bool:
         """Authoritative face-embedding check on the complete assignment."""
         ig = self.ig
+        states = list(range(ig.n))
+        try:
+            codes = [self.codes[s] for s in states]
+        except KeyError:
+            return False  # some state never received a code
         # nova-lint: disable=NV002 -- runs once per *complete*
         # assignment, after the charged search has already paid for
         # every node that led here
         for ic in ig.non_universe_nodes():
             face = self.enc[ic]
-            for s in range(ig.n):
-                code = self.codes.get(s)
-                if code is None:
-                    return False
-                member = bool((ic >> s) & 1)
-                if face.contains_code(code) != member:
-                    return False
+            if not backend.kernels.face_members_ok(
+                    states, codes, ic, face.care, face.val):
+                return False
         return True
 
 

@@ -53,6 +53,7 @@ from repro.eval.area import pla_area
 from repro.eval.instantiate import EncodedPLA, evaluate_encoding
 from repro.fsm.machine import FSM
 from repro.fsm.symbolic_cover import build_symbolic_cover
+from repro.logic.cover import contains_memo_scope
 from repro.perf.budget import Budget, BudgetExhausted
 from repro.symbolic.symbolic_min import symbolic_minimize
 from repro.testing import faults
@@ -517,7 +518,19 @@ def _last_resort(pipe: _Pipeline, evaluate: bool, verify: bool) -> NovaResult:
 
 def _encode_uncached(fsm: FSM, opts: EncodeOptions,
                      rng: Optional[random.Random]) -> NovaResult:
-    """The full pipeline run, cache-blind (the pre-1.2 encode_fsm body)."""
+    """The full pipeline run, cache-blind (the pre-1.2 encode_fsm body).
+
+    The substrate's containment memo is scoped to this run: answers
+    cached while encoding one machine must not leak into the next
+    encode in the same process (see
+    :func:`repro.logic.cover.contains_memo_scope`).
+    """
+    with contains_memo_scope():
+        return _encode_uncached_inner(fsm, opts, rng)
+
+
+def _encode_uncached_inner(fsm: FSM, opts: EncodeOptions,
+                           rng: Optional[random.Random]) -> NovaResult:
     t0 = time.perf_counter()
     algorithm = opts.algorithm
     report = RunReport(machine=fsm.name, requested_algorithm=algorithm,

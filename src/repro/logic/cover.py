@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import perf
+from repro.logic import backend
 from repro.logic.cube import Format
 
 # Bounded memo for contains_cube (see Cover.contains_cube).  The key is
@@ -16,11 +18,37 @@ from repro.logic.cube import Format
 CONTAINS_MEMO = True
 _CONTAINS_MEMO_MAX = 8192
 _contains_memo: Dict[Tuple, bool] = {}
+_memo_scope_depth = 0
 
 
 def clear_contains_memo() -> None:
     """Drop all memoized containment answers (mostly for benchmarks)."""
     _contains_memo.clear()
+
+
+@contextmanager
+def contains_memo_scope() -> Iterator[None]:
+    """Scope the containment memo to one unit of work.
+
+    The memo is module-level state: left alone, answers cached during
+    one ``encode_fsm`` run would leak into the next, making a run's
+    observable behaviour (perf counters, memo pressure, flush timing)
+    depend on what happened to run before it in the same process.
+    ``encode_fsm`` wraps each encode in this scope, which clears the
+    memo on entry and exit of the *outermost* scope only — nested
+    scopes (fallback chains re-entering the encoder) keep the intra-run
+    hit rate intact.
+    """
+    global _memo_scope_depth
+    _memo_scope_depth += 1
+    if _memo_scope_depth == 1:
+        _contains_memo.clear()
+    try:
+        yield
+    finally:
+        _memo_scope_depth -= 1
+        if _memo_scope_depth == 0:
+            _contains_memo.clear()
 
 
 class Cover:
@@ -84,56 +112,49 @@ class Cover:
         stats = perf.STATS
         if stats is not None:
             stats.cofactor_calls += 1
-        fmt = self.fmt
-        out = Cover(fmt)
-        raise_mask = fmt.universe & ~against
-        for c in self.cubes:
-            if fmt.intersects(c, against):
-                out.cubes.append(c | raise_mask)
+        out = Cover(self.fmt)
+        out.cubes = backend.kernels.cofactor(self.fmt, self.cubes, against)
         return out
 
     def intersect_cube(self, cube: int) -> "Cover":
         """Intersect every cube with *cube*, dropping empty results."""
-        fmt = self.fmt
-        out = Cover(fmt)
-        for c in self.cubes:
-            r = c & cube
-            if not fmt.is_empty(r):
-                out.cubes.append(r)
+        out = Cover(self.fmt)
+        out.cubes = backend.kernels.intersect_cube(self.fmt, self.cubes, cube)
         return out
+
+    def contain_any(self, cube: int) -> bool:
+        """True when some *single* cube of the cover contains *cube*.
+
+        Cheaper than :meth:`contains_cube` (no tautology call) and the
+        common fast path of the iterated-consensus containment filter.
+        """
+        return backend.kernels.contain_any(self.fmt, self.cubes, cube)
+
+    def any_intersects(self, cube: int) -> bool:
+        """True when *cube* shares a minterm with some cube of the cover."""
+        return backend.kernels.any_intersects(self.fmt, self.cubes, cube)
 
     def single_cube_containment(self) -> "Cover":
         """Drop every cube contained in another single cube of the cover.
 
-        Duplicates collapse via a set, then candidates are visited in
-        decreasing minterm-count order (containers first).  A cube can
-        only be contained by one with strictly more set bits, so the
-        quadratic scan compares popcounts before touching the masks and
-        skips the bulk of the pairs on typical covers.
+        Duplicates collapse first, then candidates are visited in
+        decreasing minterm-count order (containers first) with the cube
+        value as a deterministic tie-break: equal-count cubes cannot
+        contain one another, so the tie order never changes *which*
+        cubes survive, but pinning it keeps the output order — and
+        everything downstream of it — independent of set iteration
+        order across processes and hash seeds.
         """
         stats = perf.STATS
         if stats is not None:
             stats.scc_calls += 1
-        fmt = self.fmt
         n_in = len(self.cubes)
         if n_in <= 1:
             return self.copy()
-        order = sorted(set(self.cubes), key=fmt.minterm_count, reverse=True)
-        kept: List[int] = []
-        kept_pc: List[int] = []
-        for c in order:
-            pc = c.bit_count()
-            contained = False
-            for k, kpc in zip(kept, kept_pc):
-                if kpc > pc and c & ~k == 0:
-                    contained = True
-                    break
-            if not contained:
-                kept.append(c)
-                kept_pc.append(pc)
+        kept = backend.kernels.single_cube_containment(self.fmt, self.cubes)
         if stats is not None:
             stats.scc_dropped += n_in - len(kept)
-        out = Cover(fmt)
+        out = Cover(self.fmt)
         out.cubes = kept
         return out
 

@@ -38,6 +38,7 @@ class Format:
         "width",
         "universe",
         "_bit_var",
+        "_kcache",
     )
 
     def __init__(self, parts: Sequence[int]):
@@ -64,6 +65,8 @@ class Format:
         for v, p in enumerate(self.parts):
             bit_var.extend([v] * p)
         self._bit_var: Tuple[int, ...] = tuple(bit_var)
+        # packing tables lazily attached by repro.logic.backend
+        self._kcache: object = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -79,8 +82,23 @@ class Format:
             cube |= f << self.offsets[v]
         return cube
 
+    def _check_var(self, var: int) -> int:
+        """Validate a variable index; negatives never alias from the end.
+
+        Python-style negative indexing would silently address the wrong
+        part field in the mask arithmetic of :meth:`with_field` (the
+        masks are positional, not sliceable), so any out-of-range index
+        — negative or too large — is rejected with the variable named.
+        """
+        if not 0 <= var < self.num_vars:
+            raise ValueError(
+                f"variable index {var} out of range for format with "
+                f"{self.num_vars} variables (parts={self.parts})")
+        return var
+
     def literal(self, var: int, values: Iterable[int]) -> int:
         """Cube that is full everywhere except *var*, restricted to *values*."""
+        self._check_var(var)
         field = 0
         for val in values:
             if val < 0 or val >= self.parts[var]:
@@ -90,10 +108,12 @@ class Format:
 
     def field(self, cube: int, var: int) -> int:
         """Extract the part field of *var* from *cube* (right-aligned)."""
+        self._check_var(var)
         return (cube & self.masks[var]) >> self.offsets[var]
 
     def with_field(self, cube: int, var: int, field: int) -> int:
         """Return *cube* with the field of *var* replaced."""
+        self._check_var(var)
         return (cube & ~self.masks[var]) | (field << self.offsets[var])
 
     def var_of_bit(self, bit: int) -> int:

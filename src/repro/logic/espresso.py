@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro import perf
 from repro.errors import BudgetExhausted
+from repro.logic import backend
 from repro.logic.cover import Cover
 from repro.perf.budget import Budget, ambient, tick
 
@@ -33,31 +34,32 @@ def _is_implicant(cube: int, on_dc: Cover) -> bool:
 
 
 def _valid_against_off(cube: int, off: Cover) -> bool:
-    fmt = off.fmt
-    for o in off.cubes:
-        if fmt.intersects(cube, o):
-            return False
-    return True
+    return not off.any_intersects(cube)
 
 
-def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
+def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover],
+                 off_packed=None) -> int:
     """Grow *cube* to a prime implicant by raising one position at a time.
 
     Raising is monotone: once a raise fails it fails for every superset,
     so a single pass over the candidate positions yields a prime.
     Positions blocked by fewer off-cubes are tried first so large
-    expansions happen early.
+    expansions happen early.  ``off_packed`` is an optional
+    backend-packed handle for the off-set, reused across the whole
+    expand pass so the packing cost is paid once per cover.
     """
     fmt = on_dc.fmt if off is None else off.fmt
     stats = perf.STATS
+    kernels = backend.kernels
     candidates = [b for b in range(fmt.width) if not (cube >> b) & 1]
     if off is not None:
+        if off_packed is None:
+            off_packed = kernels.pack(fmt, off.cubes)
         # order by how many off-cubes conflict with each single raise
-        def blocking(bit: int) -> int:
-            grown = cube | (1 << bit)
-            return sum(1 for o in off.cubes if fmt.intersects(grown, o))
-
-        candidates.sort(key=blocking)
+        counts = kernels.intersect_counts(
+            fmt, off_packed, [cube | (1 << b) for b in candidates])
+        blocking = dict(zip(candidates, counts))
+        candidates.sort(key=blocking.__getitem__)
     if stats is not None:
         stats.expand_cubes += 1
         stats.expand_attempts += len(candidates)
@@ -65,7 +67,7 @@ def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
         tick()
         grown = cube | (1 << bit)
         if off is not None:
-            ok = _valid_against_off(grown, off)
+            ok = not kernels.any_intersects(fmt, off_packed, grown)
         else:
             ok = _is_implicant(grown, on_dc)
         if ok:
@@ -78,19 +80,23 @@ def _expand_cube(cube: int, on_dc: Cover, off: Optional[Cover]) -> int:
 def expand(f: Cover, on_dc: Cover, off: Optional[Cover] = None) -> Cover:
     """Expand every cube of *f* to a prime, dropping newly covered cubes."""
     fmt = f.fmt
+    kernels = backend.kernels
     # expand small cubes first: they benefit the most and their primes
     # tend to swallow neighbouring cubes
-    order = sorted(range(len(f.cubes)), key=lambda i: fmt.minterm_count(f.cubes[i]))
+    counts = kernels.minterm_counts(fmt, f.cubes)
+    order = sorted(range(len(f.cubes)), key=counts.__getitem__)
+    off_packed = kernels.pack(fmt, off.cubes) if off is not None else None
     covered = [False] * len(f.cubes)
     out = Cover(fmt)
     for i in order:
         tick()
         if covered[i]:
             continue
-        prime = _expand_cube(f.cubes[i], on_dc, off)
+        prime = _expand_cube(f.cubes[i], on_dc, off, off_packed)
         out.cubes.append(prime)
+        swallowed = kernels.contained_mask(fmt, f.cubes, prime)
         for j in order:
-            if not covered[j] and f.cubes[j] & ~prime == 0:
+            if swallowed[j]:
                 covered[j] = True
     return out.single_cube_containment()
 
@@ -98,8 +104,10 @@ def expand(f: Cover, on_dc: Cover, off: Optional[Cover] = None) -> Cover:
 def irredundant(f: Cover, dc: Optional[Cover] = None) -> Cover:
     """Greedy irredundant cover: drop cubes covered by the rest of f + dc."""
     fmt = f.fmt
-    cubes = sorted(f.cubes, key=fmt.minterm_count)  # try dropping small first
-    kept = list(cubes)
+    counts = backend.kernels.minterm_counts(fmt, f.cubes)
+    # try dropping small cubes first
+    order = sorted(range(len(f.cubes)), key=counts.__getitem__)
+    kept = [f.cubes[i] for i in order]
     i = 0
     while i < len(kept):
         tick()
@@ -131,7 +139,10 @@ def reduce_cover(
     """
     fmt = f.fmt
     # reduce large cubes first, as espresso does (LASTGASP: smallest first)
-    cubes = sorted(f.cubes, key=fmt.minterm_count, reverse=largest_first)
+    counts = backend.kernels.minterm_counts(fmt, f.cubes)
+    order = sorted(range(len(f.cubes)), key=counts.__getitem__,
+                   reverse=largest_first)
+    cubes = [f.cubes[i] for i in order]
     for i in range(len(cubes)):
         tick()
         c = cubes[i]

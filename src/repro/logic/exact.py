@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.logic import backend
 from repro.logic.cover import Cover
 from repro.logic.cube import Format
 
@@ -60,19 +61,24 @@ def all_primes(on: Cover, dc: Optional[Cover] = None,
     cubes = _scc_set(fmt, pool)
     if len(cubes) > max_cubes:
         raise TooLarge(f"prime set exceeded {max_cubes} cubes")
+    kernels = backend.kernels
     changed = True
     while changed:
         changed = False
         current = sorted(cubes)
+        pool = kernels.pack(fmt, current)
         new: Set[int] = set()
         for i, a in enumerate(current):
-            for b in current[i + 1:]:
-                for c in _consensus_cubes(fmt, a, b):
-                    if fmt.is_empty(c):
-                        continue
-                    if any(c & ~k == 0 for k in cubes):
-                        continue
-                    new.add(c)
+            # one batched scan replaces the inner pairwise loop; the
+            # per-pair cubes match _consensus_cubes (consensus is
+            # symmetric, so scanning the tail covers each pair once);
+            # slicing the packed pool reuses the round's packing
+            for c in kernels.consensus_scan(fmt, pool[i + 1:], a):
+                if fmt.is_empty(c):
+                    continue
+                if kernels.contain_any(fmt, pool, c):
+                    continue
+                new.add(c)
         if new:
             cubes = _scc_set(fmt, cubes | new)
             if len(cubes) > max_cubes:
@@ -84,14 +90,15 @@ def all_primes(on: Cover, dc: Optional[Cover] = None,
 
 
 def _scc_set(fmt: Format, cubes: Set[int]) -> Set[int]:
-    """Single-cube containment over a set of cubes."""
-    order = sorted(cubes, key=fmt.minterm_count, reverse=True)
-    kept: List[int] = []
-    for c in order:
-        if any(c & ~k == 0 for k in kept):
-            continue
-        kept.append(c)
-    return set(kept)
+    """Single-cube containment over a set of cubes.
+
+    Delegates to the batched kernel; the surviving *set* is independent
+    of visit order (a cube is dropped iff some other cube properly
+    contains it, and containment is transitive), so the kernel's
+    canonical ordering returns exactly the set the old sequential scan
+    kept.
+    """
+    return set(backend.kernels.single_cube_containment(fmt, list(cubes)))
 
 
 def _on_minterms(on: Cover, max_minterms: int) -> List[int]:

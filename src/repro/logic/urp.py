@@ -31,7 +31,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro import perf
+from repro.logic import backend
+from repro.logic.backend import VarProfile
 from repro.logic.cover import Cover
+from repro.logic.cube import Format
 from repro.perf.budget import tick
 
 # kill-switch for the unate reductions, used by the substrate benches to
@@ -39,8 +42,8 @@ from repro.perf.budget import tick
 UNATE_REDUCTION = True
 
 
-def _select_split_var(cover: Cover) -> Optional[int]:
-    """Pick the most *binate* variable (ESPRESSO's selection rule).
+def _profile_split_var(fmt: Format, profile: VarProfile) -> Optional[int]:
+    """Most-binate split variable from a precomputed variable profile.
 
     A variable is binate in the cover when it appears with at least two
     different non-full fields; among binate variables the one non-full
@@ -50,23 +53,11 @@ def _select_split_var(cover: Cover) -> Optional[int]:
     the recursion still makes progress.  Returns ``None`` only when
     every cube is full in every variable.
     """
-    fmt = cover.fmt
     best_var = None
     best_key = None
     fallback_var = None
     fallback_count = 0
-    for v, m in enumerate(fmt.masks):
-        count = 0
-        first_field = -1
-        binate = False
-        for c in cover.cubes:
-            f = c & m
-            if f != m:
-                count += 1
-                if first_field < 0:
-                    first_field = f
-                elif f != first_field:
-                    binate = True
+    for v, (count, binate, _union) in enumerate(profile):
         if count == 0:
             continue
         if count > fallback_count or (
@@ -85,7 +76,13 @@ def _select_split_var(cover: Cover) -> Optional[int]:
     return fallback_var
 
 
-def _unate_reduction_cube(cover: Cover) -> Optional[int]:
+def _select_split_var(cover: Cover) -> Optional[int]:
+    """Pick the most *binate* variable (ESPRESSO's selection rule)."""
+    profile = backend.kernels.var_profile(cover.fmt, cover.cubes)
+    return _profile_split_var(cover.fmt, profile)
+
+
+def _profile_reduction_cube(fmt: Format, profile: VarProfile) -> Optional[int]:
     """Cube to cofactor against for the tautology unate reduction.
 
     For each variable, values appearing only in cubes full in that
@@ -94,20 +91,21 @@ def _unate_reduction_cube(cover: Cover) -> Optional[int]:
     cube-dropping each reduction performs).  Returns ``None`` when no
     variable reduces.
     """
-    fmt = cover.fmt
     universe = fmt.universe
     lit = universe
-    for m in fmt.masks:
-        union_nonfull = 0
-        for c in cover.cubes:
-            f = c & m
-            if f != m:
-                union_nonfull |= f
+    for v, m in enumerate(fmt.masks):
+        union_nonfull = profile[v][2]
         if union_nonfull and union_nonfull != m:
             missing = m & ~union_nonfull
             weakest = missing & -missing  # lowest missing value
             lit &= (universe & ~m) | weakest
     return None if lit == universe else lit
+
+
+def _unate_reduction_cube(cover: Cover) -> Optional[int]:
+    """Tautology unate-reduction cofactor cube (see _profile_reduction_cube)."""
+    profile = backend.kernels.var_profile(cover.fmt, cover.cubes)
+    return _profile_reduction_cube(cover.fmt, profile)
 
 
 def tautology(cover: Cover) -> bool:
@@ -139,13 +137,16 @@ def _tautology_rec(cover: Cover, depth: int, stats) -> bool:
         union |= c
     if union != universe:
         return False
+    # one batched per-variable profile serves the unate reduction and
+    # the split-variable selection
+    profile = backend.kernels.var_profile(fmt, cubes)
     if UNATE_REDUCTION:
-        lit = _unate_reduction_cube(cover)
+        lit = _profile_reduction_cube(fmt, profile)
         if lit is not None:
             if stats is not None:
                 stats.unate_reductions += 1
             return _tautology_rec(cover.cofactor(lit), depth + 1, stats)
-    var = _select_split_var(cover)
+    var = _profile_split_var(fmt, profile)
     if var is None:
         return False  # non-universe cubes only; unreachable after checks
     for part in range(fmt.parts[var]):
@@ -192,18 +193,23 @@ def _complement_rec(cover: Cover, depth: int = 1, stats=None) -> Cover:
     if len(cubes) == 1:
         out.cubes = _complement_single_cube(fmt, cubes[0])
         return out
+    # one batched profile serves the missing-value factoring and the
+    # split-variable selection below
+    profile = backend.kernels.var_profile(fmt, cubes)
     if UNATE_REDUCTION:
         # missing-value factoring: values of a variable inside no cube
         # complement wholesale; raising them in every cube removes the
         # variable's "holes" without changing the complement inside the
-        # remaining slab, so the recursion sees fuller variables
+        # remaining slab, so the recursion sees fuller variables.  The
+        # full union over all cubes equals the mask as soon as one cube
+        # is full in the variable, so it reduces to the profile's
+        # non-full union exactly when every cube is non-full there.
+        n = len(cubes)
         raised = 0
         restrict = universe
-        for m in fmt.masks:
-            union = 0
-            for c in cubes:
-                union |= c & m
-            if union != m:
+        for v, m in enumerate(fmt.masks):
+            count, _binate, union = profile[v]
+            if count == n and union != m:
                 missing = m & ~union
                 out.cubes.append((universe & ~m) | missing)
                 raised |= missing
@@ -219,7 +225,7 @@ def _complement_rec(cover: Cover, depth: int = 1, stats=None) -> Cover:
                 if not fmt.is_empty(r):
                     out.cubes.append(r)
             return out
-    var = _select_split_var(cover)
+    var = _profile_split_var(fmt, profile)
     if var is None:
         return out  # all cubes universe; handled above
     for part in range(fmt.parts[var]):

@@ -58,6 +58,7 @@ _COUNTERS = (
     "contains_memo_hits",   # ... answered from the bounded memo cache
     "scc_calls",            # single_cube_containment invocations
     "scc_dropped",          # cubes removed by single-cube containment
+    "kernel_batch_calls",   # whole-cover kernel invocations (logic.backend)
     "expand_cubes",         # cubes grown by _expand_cube
     "expand_raises",        # successful raises during expansion
     "expand_attempts",      # attempted raises during expansion

@@ -1,0 +1,209 @@
+"""Tests for :mod:`repro.logic.backend` — selection and bit-identity.
+
+The numpy substrate is an optional accelerator: every kernel must
+return exactly what the pure-python reference kernels return, including
+list ordering (the bit-identity contract of DESIGN.md §6.9).  The
+property tests drive both kernel sets over random multiple-valued
+formats — binary and wide MV parts, single- and multi-word packings,
+fields straddling 64-bit word boundaries — and random covers on both
+sides of the ``MIN_BATCH`` dispatch threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import backend
+from repro.logic.backend import MIN_BATCH, PythonKernels
+from repro.logic.cover import Cover
+from repro.logic.cube import Format
+
+HAVE_NUMPY = "numpy" in backend.available_backends()
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="numpy not installed")
+
+if HAVE_NUMPY:
+    from repro.logic.backend import _build_numpy_kernels
+    NUMPY_KERNELS = _build_numpy_kernels()
+
+
+class TestSelection:
+    def test_python_always_available(self):
+        assert "python" in backend.available_backends()
+
+    def test_select_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown substrate"):
+            backend.select("fortran")
+
+    def test_use_restores_previous_backend(self):
+        before = backend.ACTIVE
+        with backend.use("python"):
+            assert backend.ACTIVE == "python"
+        assert backend.ACTIVE == before
+
+    @needs_numpy
+    def test_use_numpy_switches_kernels(self):
+        with backend.use("numpy"):
+            assert backend.ACTIVE == "numpy"
+            assert backend.kernels is not PythonKernels
+        assert backend.kernels is getattr(
+            backend, "_NUMPY_KERNELS") or backend.kernels is PythonKernels
+
+
+# ---------------------------------------------------------------------------
+# property tests: python vs numpy kernel equivalence
+# ---------------------------------------------------------------------------
+
+# parts chosen so draws cover binary vars, odd MV radixes, one-word
+# formats, multi-word formats, and fields straddling word boundaries
+PART_CHOICES = (2, 2, 2, 3, 4, 5, 17, 40)
+
+
+@st.composite
+def fmt_and_cover(draw, max_cubes=3 * MIN_BATCH):
+    parts = draw(st.lists(st.sampled_from(PART_CHOICES),
+                          min_size=1, max_size=5))
+    fmt = Format(parts)
+
+    bits = draw(st.randoms(use_true_random=False))
+
+    def cube():
+        c = 0
+        for v, p in enumerate(parts):
+            f = bits.getrandbits(p)
+            if f == 0 and bits.random() < 0.7:
+                # mostly non-empty, but keep some empty fields so the
+                # kernels see degenerate cubes too
+                f = 1 << (bits.getrandbits(16) % p)
+            c |= f << fmt.offsets[v]
+        return c
+
+    n = draw(st.integers(min_value=0, max_value=max_cubes))
+    cubes = [cube() for _ in range(n)]
+    probe = cube()
+    return fmt, cubes, probe
+
+
+@needs_numpy
+class TestKernelEquivalence:
+    """Each numpy kernel must be bit-identical to the python reference."""
+
+    @given(fmt_and_cover())
+    @settings(max_examples=120, deadline=None)
+    def test_intersect_contains_distance(self, data):
+        fmt, cubes, probe = data
+        py, nk = PythonKernels, NUMPY_KERNELS
+        packed = nk.pack(fmt, cubes)
+        assert py.intersect_cube(fmt, cubes, probe) == \
+            nk.intersect_cube(fmt, packed, probe)
+        assert py.cofactor(fmt, cubes, probe) == \
+            nk.cofactor(fmt, packed, probe)
+        assert py.contain_any(fmt, cubes, probe) == \
+            nk.contain_any(fmt, packed, probe)
+        assert py.any_intersects(fmt, cubes, probe) == \
+            nk.any_intersects(fmt, packed, probe)
+        assert py.contained_mask(fmt, cubes, probe) == \
+            nk.contained_mask(fmt, cubes, probe)
+        assert py.distances(fmt, cubes, probe) == \
+            nk.distances(fmt, cubes, probe)
+        assert py.minterm_counts(fmt, cubes) == \
+            nk.minterm_counts(fmt, cubes)
+
+    @given(fmt_and_cover())
+    @settings(max_examples=80, deadline=None)
+    def test_batch_and_scan_kernels(self, data):
+        fmt, cubes, probe = data
+        py, nk = PythonKernels, NUMPY_KERNELS
+        packed = nk.pack(fmt, cubes)
+        probes = cubes[::3] + [probe]
+        assert py.intersect_counts(fmt, cubes, probes) == \
+            nk.intersect_counts(fmt, packed, probes)
+        assert py.single_cube_containment(fmt, cubes) == \
+            nk.single_cube_containment(fmt, cubes)
+        assert py.var_profile(fmt, cubes) == nk.var_profile(fmt, cubes)
+        assert py.consensus_scan(fmt, cubes, probe) == \
+            nk.consensus_scan(fmt, packed, probe)
+
+    @given(fmt_and_cover())
+    @settings(max_examples=60, deadline=None)
+    def test_cover_ops_identical_under_both_backends(self, data):
+        """Cover-level results (the public surface) match across backends."""
+        fmt, cubes, probe = data
+        cover = Cover(fmt)
+        cover.cubes = list(cubes)
+        with backend.use("python"):
+            a = (cover.cofactor(probe).cubes,
+                 cover.intersect_cube(probe).cubes,
+                 cover.single_cube_containment().cubes,
+                 cover.contain_any(probe),
+                 cover.any_intersects(probe))
+        with backend.use("numpy"):
+            b = (cover.cofactor(probe).cubes,
+                 cover.intersect_cube(probe).cubes,
+                 cover.single_cube_containment().cubes,
+                 cover.contain_any(probe),
+                 cover.any_intersects(probe))
+        assert a == b
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_face_kernels(self, k, rng):
+        py, nk = PythonKernels, NUMPY_KERNELS
+        n = rng.randrange(1, 40)
+        states = list(range(n))
+        codes = [rng.getrandbits(k) for _ in states]
+        ic = sum(1 << s for s in states if rng.random() < 0.5)
+        care = rng.getrandbits(k)
+        val = rng.getrandbits(k) & care
+        assert py.face_members_ok(states, codes, ic, care, val) == \
+            nk.face_members_ok(states, codes, ic, care, val)
+        assert py.face_vertices(k, care, val) == \
+            nk.face_vertices(k, care, val)
+
+
+@needs_numpy
+class TestPacked:
+    def test_slice_shares_arrays(self):
+        fmt = Format([2, 3, 2])
+        cubes = [fmt.universe - (i % 3) for i in range(1, 40)]
+        pool = NUMPY_KERNELS.pack(fmt, cubes)
+        tail = pool[5:]
+        assert len(tail) == len(cubes) - 5
+        assert tail.cubes == cubes[5:]
+        assert NUMPY_KERNELS.cofactor(fmt, tail, fmt.universe) == \
+            PythonKernels.cofactor(fmt, cubes[5:], fmt.universe)
+
+    def test_slice_propagates_cached_complement(self):
+        fmt = Format([2, 2])
+        cubes = [fmt.universe] * 20
+        pool = NUMPY_KERNELS.pack(fmt, cubes)
+        pool.inv  # materialize the cache
+        assert pool[3:]._inv is not None
+
+    def test_non_slice_indexing_rejected(self):
+        fmt = Format([2, 2])
+        pool = NUMPY_KERNELS.pack(fmt, [fmt.universe])
+        with pytest.raises(TypeError):
+            pool[0]
+
+
+class TestEmptyCubeScc:
+    def test_empty_subset_of_empty_is_kept_like_python(self):
+        """Regression: all empty cubes tie at minterm count 0, so a
+        bitwise subset can precede its container in canonical order and
+        the sequential reference keeps BOTH — the batched kernel must
+        not drop it via an all-pairs containment test."""
+        fmt = Format([2, 2])
+        sub = 0b0001  # empty (var 1 field is 0), subset of the next
+        sup = 0b0011  # empty as well, strictly more bits
+        # padding lifts the list over MIN_BATCH without containing the
+        # empties (bit 0 is clear, so sub/sup are not its subsets)
+        cubes = [sub, sup] + [0b1110] * 40
+        expect = PythonKernels.single_cube_containment(fmt, cubes)
+        assert sub in expect and sup in expect
+        if HAVE_NUMPY:
+            got = NUMPY_KERNELS.single_cube_containment(fmt, cubes)
+            assert got == expect

@@ -6,7 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 import pytest
 
-from repro.logic.cover import Cover, from_strings
+from repro import perf
+from repro.logic import cover as cover_mod
+from repro.logic.cover import Cover, contains_memo_scope, from_strings
 from repro.logic.cube import Format
 
 from tests.conftest import cover_minterms, random_cover
@@ -102,6 +104,101 @@ class TestAlgebra:
         small = from_strings(fmt, ["- -"])
         big = from_strings(fmt, ["0 -", "1 -"])
         assert small.cost() < big.cost()
+
+
+class TestSccDeterminism:
+    """The equal-minterm-count tie-break is by cube value (regression:
+    the order used to come from set iteration, which depends on
+    insertion history)."""
+
+    def setup_method(self):
+        self.fmt = Format([2, 2, 2])
+        # four pairwise-incomparable cubes, all with minterm count 4
+        self.ties = [self.fmt.cube_from_str(s)
+                     for s in ("0 - -", "1 - -", "- 0 -", "- 1 -")]
+
+    def test_output_independent_of_insertion_order(self):
+        results = set()
+        for perm in ((0, 1, 2, 3), (3, 2, 1, 0), (2, 0, 3, 1)):
+            f = Cover(self.fmt)
+            f.cubes = [self.ties[i] for i in perm]
+            results.add(tuple(f.single_cube_containment().cubes))
+        assert len(results) == 1
+
+    def test_ties_sorted_by_cube_value(self):
+        f = Cover(self.fmt)
+        f.cubes = list(reversed(self.ties))
+        out = f.single_cube_containment().cubes
+        assert out == sorted(self.ties)
+
+    def test_containers_still_come_first(self):
+        f = Cover(self.fmt)
+        small = self.fmt.cube_from_str("0 0 -")
+        f.cubes = [small] + self.ties
+        out = f.single_cube_containment().cubes
+        assert small not in out  # contained in "0 - -"
+        assert out == sorted(self.ties)
+
+    def test_nova_lint_catches_nondeterministic_variant(self, tmp_path):
+        """A tie-break via the module-level random generator (one easy
+        way to reintroduce order dependence) trips NV005 in logic/."""
+        from repro.analysis import lint_paths
+
+        target = tmp_path / "logic" / "cover.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import random\n"
+            "def single_cube_containment(cubes, mc):\n"
+            "    order = sorted(set(cubes), key=mc, reverse=True)\n"
+            "    random.shuffle(order)\n"
+            "    return order\n")
+        result = lint_paths([tmp_path], display_root=tmp_path)
+        hits = [f for f in result.findings if f.rule == "NV005"]
+        assert hits, "nondeterministic scc variant went unflagged"
+        assert "random.shuffle" in hits[0].message
+
+
+class TestContainsMemoScope:
+    def setup_method(self):
+        self.fmt = Format([2, 2])
+        self.f = from_strings(self.fmt, ["0 -", "1 -"])
+        cover_mod.clear_contains_memo()
+
+    def teardown_method(self):
+        cover_mod.clear_contains_memo()
+
+    def test_repeat_queries_hit_within_scope(self):
+        with perf.collect() as stats:
+            with contains_memo_scope():
+                self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+                self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+        assert stats.contains_memo_hits == 1
+
+    def test_scope_exit_clears_the_memo(self):
+        with contains_memo_scope():
+            self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+            assert cover_mod._contains_memo
+        assert not cover_mod._contains_memo
+
+    def test_scope_entry_clears_leaked_state(self):
+        # a query outside any scope leaves entries behind; the next
+        # scoped run must not see them
+        self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+        assert cover_mod._contains_memo
+        with perf.collect() as stats:
+            with contains_memo_scope():
+                assert not cover_mod._contains_memo
+                self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+        assert stats.contains_memo_hits == 0
+
+    def test_nested_scopes_keep_the_intra_run_hit_rate(self):
+        with perf.collect() as stats:
+            with contains_memo_scope():
+                self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+                with contains_memo_scope():  # e.g. a fallback re-encode
+                    self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+                self.f.contains_cube(self.fmt.cube_from_str("- 0"))
+        assert stats.contains_memo_hits == 2
 
 
 @given(st.integers(min_value=0, max_value=10_000))

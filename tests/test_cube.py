@@ -191,6 +191,89 @@ class TestTextIO:
         with pytest.raises(ValueError):
             fmt.cube_from_str("0 01")  # wrong MV token width
 
+    def test_empty_binary_field_renders_tilde(self):
+        fmt = Format([2, 2])
+        cube = fmt.cube_from_fields([0, 3])
+        assert fmt.cube_to_str(cube) == "~ -"
+        assert fmt.cube_from_str("~ -") == cube
+
+    def test_mv_bit_strings_are_lsb_first(self):
+        # part 0 is the leftmost character of an MV token
+        fmt = Format([3])
+        assert fmt.cube_to_str(fmt.cube_from_fields([0b001])) == "100"
+        assert fmt.cube_to_str(fmt.cube_from_fields([0b100])) == "001"
+        assert fmt.cube_from_str("110") == fmt.cube_from_fields([0b011])
+
+
+def text_io_formats() -> st.SearchStrategy:
+    # mixed binary / MV parts; MV radixes above 2 exercise the
+    # reversed bit-string token path
+    return st.lists(st.sampled_from([2, 2, 3, 5, 7]), min_size=1,
+                    max_size=5).map(Format)
+
+
+@given(st.data())
+@settings(max_examples=200)
+def test_cube_str_roundtrip(data):
+    """cube_from_str inverts cube_to_str for every field value,
+    including empty fields (binary ``~``, all-zero MV tokens)."""
+    fmt = data.draw(text_io_formats())
+    fields = [data.draw(st.integers(min_value=0, max_value=(1 << p) - 1))
+              for p in fmt.parts]
+    cube = fmt.cube_from_fields(fields)
+    text = fmt.cube_to_str(cube)
+    assert fmt.cube_from_str(text) == cube
+    # rendering is canonical: a second round-trip is a fixpoint
+    assert fmt.cube_to_str(fmt.cube_from_str(text)) == text
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_cube_str_tokens_match_parts(data):
+    fmt = data.draw(text_io_formats())
+    fields = [data.draw(st.integers(min_value=0, max_value=(1 << p) - 1))
+              for p in fmt.parts]
+    tokens = fmt.cube_to_str(fmt.cube_from_fields(fields)).split()
+    assert len(tokens) == fmt.num_vars
+    for tok, p in zip(tokens, fmt.parts):
+        if p == 2:
+            assert tok in ("0", "1", "-", "~")
+        else:
+            assert len(tok) == p and set(tok) <= {"0", "1"}
+
+
+class TestVarValidation:
+    """literal/field/with_field validate the variable index (regression:
+    out-of-range and negative indices used to address wrong mask slots
+    or raise bare IndexError deep in the mask arithmetic)."""
+
+    def setup_method(self):
+        self.fmt = Format([2, 3, 2])
+
+    @pytest.mark.parametrize("var", [-1, 3, 100])
+    def test_literal_rejects_bad_var(self, var):
+        with pytest.raises(ValueError, match=f"variable index {var} "):
+            self.fmt.literal(var, [0])
+
+    @pytest.mark.parametrize("var", [-1, 3, 100])
+    def test_field_rejects_bad_var(self, var):
+        with pytest.raises(ValueError, match=f"variable index {var} "):
+            self.fmt.field(self.fmt.universe, var)
+
+    @pytest.mark.parametrize("var", [-1, 3, 100])
+    def test_with_field_rejects_bad_var(self, var):
+        with pytest.raises(ValueError, match=f"variable index {var} "):
+            self.fmt.with_field(self.fmt.universe, var, 1)
+
+    def test_message_names_the_format(self):
+        with pytest.raises(ValueError, match=r"3 variables"):
+            self.fmt.field(self.fmt.universe, 7)
+
+    def test_valid_indices_unaffected(self):
+        assert self.fmt.field(self.fmt.universe, 2) == 3
+        lit = self.fmt.literal(1, [0, 2])
+        assert self.fmt.field(lit, 1) == 0b101
+
 
 @given(fmt_and_two_cubes)
 @settings(max_examples=200)
