@@ -241,6 +241,7 @@ class LintConfig:
     allowed_raises: Tuple[str, ...] = (
         "ReproError", "ParseError", "ConstraintError", "BudgetExhausted",
         "EncodingInfeasible", "VerificationError", "BudgetExceeded",
+        "ServiceError", "OverloadError", "DeadlineExceeded",
         "NotImplementedError", "AssertionError",
     )
 
@@ -280,7 +281,10 @@ def default_config() -> LintConfig:
             "encoding/*.py", "logic/*.py", "constraints/*.py",
             "symbolic/*.py", "fsm/*.py", "cache/*.py", "baselines/*.py",
         ),
-        "NV006": ("runner/worker.py",),
+        # worker.py because the batch runner spawns it; the server
+        # modules because ``nova serve`` spawns workers too, and every
+        # module imported on that path must stay import-clean
+        "NV006": ("runner/worker.py", "server/*.py"),
         # scope key consumed by NV004 for its raise-taxonomy half
         "NV004-stages": (
             "encoding/iexact.py", "encoding/igreedy.py",
@@ -289,7 +293,7 @@ def default_config() -> LintConfig:
             "encoding/out_encoder.py", "encoding/project.py",
             "encoding/verify.py", "encoding/base.py",
             "fsm/kiss.py", "fsm/symbolic_cover.py",
-            "symbolic/*.py",
+            "symbolic/*.py", "server/*.py",
         ),
     })
 

@@ -67,6 +67,7 @@ __all__ = [
     "cache_dir",
     "cache_info",
     "cache_prune",
+    "check_environment",
     "canonical_fsm",
     "canonical_options",
     "decode_result",
@@ -78,6 +79,7 @@ __all__ = [
 ]
 
 _OFF_VALUES = ("0", "off", "false", "no")
+_ON_VALUES = ("1", "on", "true", "yes")
 
 
 def cache_dir() -> Path:
@@ -89,22 +91,65 @@ def cache_dir() -> Path:
 
 
 def _max_bytes() -> int:
-    try:
-        return int(os.environ["NOVA_CACHE_MAX_BYTES"])
-    except (KeyError, ValueError):
+    raw = os.environ.get("NOVA_CACHE_MAX_BYTES")
+    if raw is None:
         return DEFAULT_MAX_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"NOVA_CACHE_MAX_BYTES must be an integer byte count, "
+            f"got {raw!r}") from None
 
 
 def resolve_policy(policy: str = "auto") -> str:
-    """Collapse ``auto`` against the environment; returns on/off/memory."""
+    """Collapse ``auto`` against the environment; returns on/off/memory.
+
+    An unrecognized ``NOVA_CACHE`` value raises ``ValueError`` instead
+    of silently resolving to the default: a user who exported
+    ``NOVA_CACHE=of`` (or ``disk``, or ``tru``) meant *something*, and
+    running with the wrong cache policy would quietly change costs —
+    or, for ``off``-intended values, quietly reuse stale results.
+    Long-lived entry points (``nova serve``) validate at startup via
+    :func:`check_environment` so the error surfaces before the first
+    request.
+    """
     if policy != "auto":
         return policy
-    env = os.environ.get("NOVA_CACHE", "").strip().lower()
-    if env in _OFF_VALUES:
+    env = os.environ.get("NOVA_CACHE")
+    if env is None or not env.strip():
+        return "on"
+    value = env.strip().lower()
+    if value in _OFF_VALUES:
         return "off"
-    if env == "memory":
+    if value == "memory":
         return "memory"
-    return "on"
+    if value in _ON_VALUES:
+        return "on"
+    raise ValueError(
+        f"unrecognized NOVA_CACHE value {env!r}: use "
+        f"on/off/memory (aliases: {'/'.join(_ON_VALUES)} for on, "
+        f"{'/'.join(_OFF_VALUES)} for off); refusing to guess a policy")
+
+
+def check_environment() -> str:
+    """Validate the cache environment eagerly; returns the policy.
+
+    ``resolve_policy`` already rejects garbage, but only when the first
+    lookup happens; services call this at startup so a typo'd
+    ``NOVA_CACHE`` (or a non-integer ``NOVA_CACHE_MAX_BYTES``) fails
+    the boot, not the hundredth request.
+    """
+    policy = resolve_policy("auto")
+    raw = os.environ.get("NOVA_CACHE_MAX_BYTES")
+    if raw is not None:
+        try:
+            int(raw)
+        except ValueError:
+            raise ValueError(
+                f"NOVA_CACHE_MAX_BYTES must be an integer byte count, "
+                f"got {raw!r}") from None
+    return policy
 
 
 # One live cache per (policy, root) so every encode_fsm call in a

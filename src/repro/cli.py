@@ -273,6 +273,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the encode service (see README §Serving and DESIGN §6.10)."""
+    import asyncio
+    import json
+
+    from repro.server import EncodeService, run_server
+
+    worker_faults = []
+    for spec in args.fault or []:
+        # test/bench harness knob: ship a fault plan into every worker
+        worker_faults.append(json.loads(spec))
+    service = EncodeService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_timeout=args.default_timeout or None,
+        max_timeout=args.max_timeout or None,
+        kill_grace=args.kill_grace,
+        rescue_timeout=args.rescue_timeout,
+        cache_policy=args.cache,
+        worker_faults=worker_faults,
+    )
+    return asyncio.run(run_server(
+        service, host=args.host, port=args.port,
+        read_timeout=args.read_timeout,
+        drain_timeout=args.drain_timeout))
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Encode a machine and independently verify the result."""
     from repro.encoding.verify import verify_encoded_machine
@@ -432,6 +459,56 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="print the registered rules and exit")
     lint.set_defaults(func=_cmd_lint)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the encode service (HTTP, asyncio)",
+        description="An asyncio HTTP front end over encode_fsm: "
+                    "single-flight coalescing on the cache fingerprint, "
+                    "bounded admission (429 + Retry-After under "
+                    "overload), per-request deadlines with graceful "
+                    "degradation down the fallback ladder, and a "
+                    "cache-warm load-shed path. POST /encode, "
+                    "GET /healthz, GET /stats. See README §Serving.")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8573,
+                     help="TCP port (0 picks an ephemeral one; the bound "
+                          "port is printed as a JSON line on stdout)")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="concurrent cold computations (worker processes)")
+    srv.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                     help="cold requests allowed to wait for a worker "
+                          "slot before new ones get 429")
+    srv.add_argument("--default-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="per-request deadline when the client sends "
+                          "none (0 disables)")
+    srv.add_argument("--max-timeout", type=float, default=300.0,
+                     metavar="SECONDS",
+                     help="cap on client-requested deadlines")
+    srv.add_argument("--kill-grace", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="extra wall-clock past the cooperative deadline "
+                          "before a worker is hard-killed")
+    srv.add_argument("--rescue-timeout", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="emergency allowance for degradation rungs "
+                          "after a kill/crash consumed the deadline")
+    srv.add_argument("--read-timeout", type=float, default=10.0,
+                     metavar="SECONDS",
+                     help="slow-client guard: max time to read a request")
+    srv.add_argument("--drain-timeout", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="how long SIGTERM lets in-flight requests "
+                          "finish before cancelling them")
+    srv.add_argument("--cache", default="auto", choices=CACHE_POLICIES,
+                     help="result-cache policy (the warm/load-shed path "
+                          "needs at least 'memory')")
+    srv.add_argument("--fault", action="append", metavar="JSON",
+                     help="test harness: a repro.testing.faults.Fault "
+                          "spec (JSON) armed inside every worker; "
+                          "repeatable")
+    srv.set_defaults(func=_cmd_serve)
+
     ver = sub.add_parser("verify",
                          help="encode and independently verify a machine")
     ver.add_argument("file", nargs="?", help="KISS2 file")
@@ -452,9 +529,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         # one-line diagnostic, distinct exit code per error class:
-        # 3 parse, 4 constraint, 5 budget, 6 infeasible, 7 verification
+        # 3 parse, 4 constraint, 5 budget, 6 infeasible, 7 verification,
+        # 8 service (overload/deadline/server config)
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    except ValueError as exc:
+        # environment/config validation (e.g. a typo'd NOVA_CACHE)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -157,11 +157,74 @@ class VerificationError(ReproError):
         self.mismatches = list(mismatches or [])
 
 
+class ServiceError(ReproError):
+    """The encode service failed a request for a server-side reason.
+
+    Raised by :mod:`repro.server` for failures that belong to the
+    *serving* layer — a dead worker pool, a shutdown race, a request the
+    service cannot dispatch — as opposed to the pipeline errors above,
+    which describe the encoding itself.  ``http_status`` is the
+    transport rendering the server should use for this error.
+    """
+
+    #: default HTTP status for this class (subclasses override)
+    http_status = 500
+
+
+class OverloadError(ServiceError):
+    """Admission control rejected the request: the cold-path queue is
+    full.  ``retry_after`` is the server's estimate (seconds) of when
+    capacity will free up, rendered as the ``Retry-After`` header."""
+
+    http_status = 429
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        queued: Optional[int] = None,
+        limit: Optional[int] = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.retry_after = retry_after
+        self.queued = queued
+        self.limit = limit
+
+    def _context_parts(self) -> List[str]:
+        parts = []
+        if self.queued is not None and self.limit is not None:
+            parts.append(f"queued={self.queued}/{self.limit}")
+        return parts + super()._context_parts()
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's wall-clock deadline expired before any degradation
+    rung produced a result — even the server-side rescue ladder was
+    killed or crashed out.  Distinct from :class:`BudgetExhausted`,
+    which is the *cooperative* in-pipeline signal the driver recovers
+    from; this error means the serving layer itself ran out of road."""
+
+    http_status = 504
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline: Optional[float] = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.deadline = deadline
+
+
 #: Name -> class map of the public taxonomy, for JSON deserialization.
 ERROR_CLASSES = {
     cls.__name__: cls
     for cls in (ReproError, ParseError, ConstraintError, BudgetExhausted,
-                EncodingInfeasible, VerificationError)
+                EncodingInfeasible, VerificationError, ServiceError,
+                OverloadError, DeadlineExceeded)
 }
 
 
@@ -212,6 +275,7 @@ def exit_code_for(exc: BaseException) -> int:
         (BudgetExhausted, 5),
         (EncodingInfeasible, 6),
         (VerificationError, 7),
+        (ServiceError, 8),  # includes OverloadError / DeadlineExceeded
     ):
         if isinstance(exc, cls):
             return code

@@ -826,6 +826,11 @@ def use(name: str) -> Iterator[None]:
         select(prev)
 
 
+# A set-but-unknown NOVA_SUBSTRATE is a hard import error (select()
+# raises) rather than a silent fall-through to the python backend: a
+# user who exported it expects the packed kernels, and discovering the
+# typo from a 4x-slower benchmark run is the worst way to learn.
+# Whitespace-only counts as unset; case is normalized so "NumPy" works.
 _env_choice: Optional[str] = os.environ.get("NOVA_SUBSTRATE")
-if _env_choice:
-    select(_env_choice)
+if _env_choice is not None and _env_choice.strip():
+    select(_env_choice.strip().lower())

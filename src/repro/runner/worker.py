@@ -65,13 +65,32 @@ def execute(spec: Dict) -> Dict:
 def _run_encode(spec: Dict) -> Dict:
     from repro.encoding.nova import encode_fsm
 
-    fsm = _load_fsm(spec["machine"])
+    if spec.get("kiss"):
+        # inline KISS2 text (the encode service ships request bodies
+        # this way — there is no file to point at)
+        from repro.fsm.kiss import parse_kiss
+
+        fsm = parse_kiss(spec["kiss"], name=spec["machine"])
+    else:
+        fsm = _load_fsm(spec["machine"])
     options = dict(spec.get("options") or {})
     result = encode_fsm(fsm, spec["algorithm"], **options)
     report = result.report
     status = "degraded" if (report is not None and report.degraded) else "ok"
-    return {"status": status, "record": result.to_record(),
-            "cache_hit": bool(report is not None and report.cache_hit)}
+    out = {"status": status, "record": result.to_record(),
+           "cache_hit": bool(report is not None and report.cache_hit)}
+    if spec.get("want_payload"):
+        # the encode service warms its own in-process cache tier from
+        # this (a worker's memory LRU dies with the worker); same rule
+        # as the encode path — a wall-clock-shaped result is never
+        # cache material
+        from repro import cache as cache_mod
+
+        wallclock_shaped = (options.get("timeout") is not None
+                            and report is not None and report.degraded)
+        if not wallclock_shaped:
+            out["payload"] = cache_mod.encode_result(result)
+    return out
 
 
 def _run_table(spec: Dict) -> Dict:

@@ -1,0 +1,142 @@
+"""The service's spawn-worker pool: isolated encodes with a hard kill.
+
+One cold request = one spawned process running
+:func:`repro.runner.worker.child_main` — exactly the PR 3 batch-runner
+entry point, reused unchanged, so every property that module guarantees
+(JSON-only pipe transport, exception-proof reporting, orphan-safe
+sends) holds here too.  What the pool adds is the *async* shape: the
+blocking spawn/poll/kill loop runs in a thread via
+``asyncio.to_thread``, so the event loop keeps serving warm traffic
+while workers grind.
+
+The hard wall-clock kill sits **above** the cooperative
+:class:`~repro.perf.budget.Budget` the request's deadline maps onto
+(DESIGN §6.6): the budget degrades a healthy pipeline gracefully inside
+the worker; the kill bounds the unhealthy one — a stuck C-level loop,
+an allocation storm — that never reaches a budget check.  SIGKILL, not
+SIGTERM: a wedged worker may not run Python again.
+
+Shutdown is synchronous and total: :meth:`shutdown` refuses new work,
+SIGKILLs every live worker and joins it, so a served SIGTERM can
+guarantee "no orphaned spawn workers" to its supervisor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from multiprocessing import get_context
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.runner.worker import child_main
+
+#: ``outcome["killed"]`` markers the pool itself produces.
+KILLED_TIMEOUT = "timeout"
+KILLED_SHUTDOWN = "shutdown"
+
+#: How often the polling thread re-checks the shutdown flag (seconds).
+_POLL_INTERVAL = 0.1
+
+
+class WorkerPool:
+    """Spawn-context workers, registered so shutdown can kill them all."""
+
+    def __init__(self) -> None:
+        self._ctx = get_context("spawn")
+        self._live: Dict[int, object] = {}  # pid -> Process
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
+
+    def live_pids(self) -> List[int]:
+        """PIDs of currently running workers (for /stats and tests)."""
+        with self._lock:
+            return sorted(self._live)
+
+    # ------------------------------------------------------------------
+    async def run(self, spec: Dict,
+                  hard_timeout: Optional[float]) -> Dict:
+        """Run one worker attempt off-loop; returns the outcome dict.
+
+        The outcome is either the worker's own report (``status`` of
+        ``ok``/``degraded``/``error``) or a parent-side classification:
+        ``{"status": "killed", "killed": "timeout"}`` for a hard kill,
+        ``{"status": "crashed", "exitcode": N}`` for a death without a
+        report.  Raises :class:`ServiceError` only when the pool is
+        already shutting down.
+        """
+        return await asyncio.to_thread(self._run_blocking, spec,
+                                       hard_timeout)
+
+    def _run_blocking(self, spec: Dict,
+                      hard_timeout: Optional[float]) -> Dict:
+        if self._closing.is_set():
+            raise ServiceError("worker pool is shutting down",
+                               stage="dispatch",
+                               machine=spec.get("machine"))
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(target=child_main, args=(spec, send),
+                                 daemon=True)
+        proc.start()
+        send.close()  # keep only the read end: EOF detection is reliable
+        with self._lock:
+            self._live[proc.pid] = proc
+        deadline = (None if hard_timeout is None
+                    else time.monotonic() + hard_timeout)
+        try:
+            return self._watch(proc, recv, deadline)
+        finally:
+            with self._lock:
+                self._live.pop(proc.pid, None)
+            recv.close()
+
+    def _watch(self, proc, recv, deadline: Optional[float]) -> Dict:
+        """Poll until report, EOF, hard deadline, or pool shutdown."""
+        while True:
+            if self._closing.is_set():
+                proc.kill()
+                proc.join()
+                return {"status": "killed", "killed": KILLED_SHUTDOWN,
+                        "exitcode": proc.exitcode}
+            timeout = _POLL_INTERVAL
+            if deadline is not None:
+                timeout = min(timeout,
+                              max(0.0, deadline - time.monotonic()))
+            if recv.poll(timeout):
+                try:
+                    outcome = recv.recv()
+                except (EOFError, OSError):
+                    proc.join()
+                    return {"status": "crashed",
+                            "exitcode": proc.exitcode}
+                proc.join()
+                return outcome
+            if deadline is not None and time.monotonic() > deadline:
+                proc.kill()
+                proc.join()
+                return {"status": "killed", "killed": KILLED_TIMEOUT,
+                        "exitcode": proc.exitcode}
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> int:
+        """Refuse new work, SIGKILL and join every live worker.
+
+        Returns how many workers were killed.  Idempotent; safe to call
+        from any thread (and from a signal-driven shutdown path).
+        """
+        self._closing.set()
+        with self._lock:
+            procs = list(self._live.values())
+        killed = 0
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+                killed += 1
+            proc.join()
+        return killed

@@ -1,0 +1,83 @@
+"""Single-flight coalescing: one computation per in-flight fingerprint.
+
+The PR 4 cache fingerprint makes every encode request content-addressed,
+so two concurrent requests with the same fingerprint are *the same
+work*.  :class:`SingleFlight` maps fingerprint -> the one running
+computation; the first requester (the *leader*) launches it, everyone
+else attaches to the same :class:`asyncio.Task`.
+
+Cancellation safety is the point of the design: the computation runs in
+its **own task**, never in any requester's handler task, and waiters
+await it through :func:`asyncio.shield`.  A client disconnect cancels
+that client's handler — the shield absorbs the cancellation and the
+shared work keeps running for every other waiter.  Even when the *last*
+waiter detaches the computation is left to finish: its result lands in
+the encode cache, so the work is never wasted, and an abandoned-then-
+retried request becomes a warm hit instead of a second cold run.  (The
+worker pool's hard wall-clock kill bounds how long an abandoned
+computation can hold a slot.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Optional
+
+from repro.errors import ServiceError
+
+
+class SharedCall:
+    """One in-flight computation and its attachment count."""
+
+    __slots__ = ("key", "task", "waiters")
+
+    def __init__(self, key: str, task: "asyncio.Task[Any]") -> None:
+        self.key = key
+        self.task = task
+        self.waiters = 0
+
+
+class SingleFlight:
+    """The in-flight map.  All methods run on the event loop thread."""
+
+    def __init__(self) -> None:
+        self._calls: Dict[str, SharedCall] = {}
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+    def lookup(self, key: str) -> Optional[SharedCall]:
+        """The in-flight call for *key*, if any."""
+        return self._calls.get(key)
+
+    def launch(self, key: str,
+               factory: Callable[[], Awaitable[Any]]) -> SharedCall:
+        """Start the shared computation for *key* in its own task.
+
+        The map entry is installed synchronously — before the factory's
+        coroutine runs a single step — so every later request in the
+        same event-loop tick already coalesces onto it.
+        """
+        if key in self._calls:
+            raise ServiceError(
+                f"fingerprint {key[:16]} already in flight")
+        task = asyncio.get_running_loop().create_task(
+            factory(), name=f"encode:{key[:16]}")
+        call = SharedCall(key, task)
+        self._calls[key] = call
+        task.add_done_callback(lambda _t: self._calls.pop(key, None))
+        return call
+
+    async def wait(self, call: SharedCall) -> Any:
+        """Await *call*'s result as one (cancellable) waiter.
+
+        Cancelling this coroutine detaches only this waiter; the shared
+        task is shielded and keeps running for the others.  The shared
+        task's exception (e.g. an ``OverloadError`` the leader hit at
+        admission) propagates to every attached waiter identically.
+        """
+        call.waiters += 1
+        try:
+            return await asyncio.shield(call.task)
+        finally:
+            call.waiters -= 1

@@ -36,7 +36,15 @@ from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
 from repro.errors import ERROR_CLASSES, ReproError
 
 #: Stage names with a trip site in the pipeline, in pipeline order.
-STAGES = ("parse", "mv_min", "encode", "minimize", "verify")
+#: The last three are the *serving* stages of :mod:`repro.server`:
+#: ``admit`` trips where admission control decides (a raised
+#: ``OverloadError`` models a full queue), ``dispatch`` trips just
+#: before a cold request spawns its worker (crash the leader's worker
+#: here to exercise coalesced-failure recovery), and ``respond`` trips
+#: before the HTTP response is written (a ``sleep`` action models a
+#: stuck handler, a raise models a response-path failure).
+STAGES = ("parse", "mv_min", "encode", "minimize", "verify",
+          "admit", "dispatch", "respond")
 
 #: What a firing fault does: raise its exception, hang the process
 #: (``sleep`` — models a stuck C-level loop the cooperative Budget

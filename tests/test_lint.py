@@ -212,6 +212,16 @@ class TestSelfCheck:
             assert cfg.rule_paths.get(rule_id)
         assert cfg.rule_paths.get("NV004-stages")
 
+    def test_server_modules_are_in_scope(self):
+        # nova serve spawns workers and raises over HTTP: the server
+        # package must honour both the spawn-safety and the
+        # raise-taxonomy invariants, service errors included
+        cfg = default_config()
+        assert "server/*.py" in cfg.rule_paths["NV006"]
+        assert "server/*.py" in cfg.rule_paths["NV004-stages"]
+        for name in ("ServiceError", "OverloadError", "DeadlineExceeded"):
+            assert name in cfg.allowed_raises
+
 
 class TestCli:
     def test_lint_clean_tree_exits_zero(self, capsys):
