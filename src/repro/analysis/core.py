@@ -233,7 +233,10 @@ class LintConfig:
         "DiskStore.put",       # tmp + fsync + os.replace
         "write_manifest",      # tmp + fsync + os.replace
         "Journal.__init__",    # append-only handle; append() fsyncs
+        "Journal._acquire_writer_lock",  # flock sidecar, no data writes
         "repair",              # in-place truncate/patch + fsync
+        "LeaseDir._publish_new",  # tmp + fsync + os.link (excl create)
+        "LeaseDir._replace",      # tmp + fsync + os.replace
     )
 
     # --- NV004 ---------------------------------------------------------

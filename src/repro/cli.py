@@ -106,9 +106,68 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_status(run_dir: str, as_json: bool) -> int:
+    """Durable-state view of a run directory: merged shards + leases."""
+    import json
+    from pathlib import Path
+
+    from repro.runner import lease_stats, merge_results, read_manifest
+
+    merged = merge_results(run_dir)
+    try:
+        manifest = read_manifest(run_dir)
+    except FileNotFoundError:
+        manifest = {}
+    planned = [t.get("task") for t in manifest.get("tasks", [])
+               if isinstance(t, dict)]
+    done = set(merged.task_ids)
+    failed = sum(1 for r in merged.records if r.get("status") == "failed")
+    stolen = sum(1 for r in merged.records if r.get("epoch"))
+    status = {
+        "run_dir": str(Path(run_dir)),
+        "status": manifest.get("status"),
+        "planned": len(planned),
+        "completed": len(merged.records),
+        "failed": failed,
+        "stolen": stolen,
+        "remaining": sorted(t for t in planned if t and t not in done),
+        "shards": merged.shards,
+        "torn_tails": sorted(merged.torn_tails),
+        "duplicates": merged.duplicates,
+        "rejected": merged.rejected,
+        "leases": lease_stats(run_dir),
+    }
+    if as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(f"run     : {status['run_dir']} "
+              f"[{status['status'] or 'no manifest'}]")
+        print(f"tasks   : {status['completed']}/{status['planned']} "
+              f"journaled, {failed} failed, {stolen} stolen, "
+              f"{len(status['remaining'])} remaining")
+        print(f"shards  : {len(merged.shards)} "
+              f"({', '.join(merged.shards) or 'none'})")
+        if merged.torn_tails:
+            print(f"torn    : {', '.join(status['torn_tails'])} "
+                  f"(repaired on next join/resume)")
+        if merged.duplicates:
+            print(f"dups    : {merged.duplicates} same-shard repeats "
+                  f"dropped (last won)")
+        for rej in merged.rejected:
+            print(f"fenced  : {rej['task']} from {rej['claimant'] or '?'} "
+                  f"({rej['reason']})")
+        ls = status["leases"]
+        print(f"leases  : {ls['live']} live, {ls['expired']} expired, "
+              f"{ls['total_epoch']} steals published, "
+              f"claimants: {', '.join(ls['claimants']) or 'none'}")
+    complete = (planned and not status["remaining"] and not failed)
+    return 0 if complete else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Crash-safe parallel sweep over many machines (see README §Batch)."""
     import time as _time
+    from pathlib import Path
 
     from repro.runner import (
         BatchRunner,
@@ -117,8 +176,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         tasks_for_kiss_dir,
     )
 
+    if args.kiss_dir == "status":
+        run_dir = args.extra or args.join or args.resume
+        if not run_dir:
+            print("error: usage: nova batch status RUN_DIR",
+                  file=sys.stderr)
+            return 2
+        return _batch_status(run_dir, as_json=args.json)
+    if args.extra:
+        print(f"error: unexpected argument {args.extra!r}", file=sys.stderr)
+        return 2
+
     def progress(line: str) -> None:
         print(f"  {line}", file=sys.stderr)
+
+    def build_tasks():
+        options = {}
+        if args.effort:
+            options["effort"] = args.effort
+        if args.cache != "auto":
+            options["cache"] = args.cache
+        opts = options or None
+        if args.kiss_dir:
+            return tasks_for_kiss_dir(args.kiss_dir, args.algorithm,
+                                      opts, timeout=args.task_timeout)
+        return tasks_for_benchmarks(args.set, args.algorithm,
+                                    opts, timeout=args.task_timeout)
 
     if args.resume:
         runner = BatchRunner.resume(
@@ -130,19 +213,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             progress=progress,
             force=args.force,
         )
+    elif args.join:
+        # first joiner creates the run from the usual task sources;
+        # later joiners take the task set from the manifest
+        from repro.runner.journal import MANIFEST_NAME
+
+        tasks = (None if (Path(args.join) / MANIFEST_NAME).exists()
+                 else build_tasks())
+        runner = BatchRunner.join(
+            args.join,
+            tasks=tasks,
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            fail_fast=args.fail_fast or None,
+            claimant=args.claimant,
+            lease_ttl=args.lease_ttl,
+            heartbeat_interval=args.heartbeat,
+            progress=progress,
+        )
     else:
-        options = {}
-        if args.effort:
-            options["effort"] = args.effort
-        if args.cache != "auto":
-            options["cache"] = args.cache
-        options = options or None
-        if args.kiss_dir:
-            tasks = tasks_for_kiss_dir(args.kiss_dir, args.algorithm,
-                                       options, timeout=args.task_timeout)
-        else:
-            tasks = tasks_for_benchmarks(args.set, args.algorithm,
-                                         options, timeout=args.task_timeout)
+        tasks = build_tasks()
         run_dir = args.out or f"batch-runs/{_time.strftime('%Y%m%d-%H%M%S')}"
         runner = BatchRunner(
             tasks, run_dir,
@@ -160,8 +251,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.summary())
-    print(f"journal    : {runner.run_dir / 'results.jsonl'}")
-    print(f"resume with: nova batch --resume {runner.run_dir}")
+    if runner.join_mode:
+        from repro.runner import shard_name
+
+        print(f"shard      : {runner.run_dir / shard_name(runner.claimant)}")
+        print(f"status with: nova batch status {runner.run_dir}")
+    else:
+        print(f"journal    : {runner.run_dir / 'results.jsonl'}")
+        print(f"resume with: nova batch --resume {runner.run_dir}")
     return 0 if report.ok else 1
 
 
@@ -372,9 +469,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Fan encodes out over isolated worker processes with "
                     "hard per-task timeouts, retries down the degradation "
                     "ladder, and a durable results.jsonl journal; an "
-                    "interrupted run resumes with --resume RUN_DIR.")
+                    "interrupted run resumes with --resume RUN_DIR. "
+                    "N cooperating processes (one per host is fine) share "
+                    "one run with --join RUN_DIR; inspect any run with "
+                    "'nova batch status RUN_DIR'.")
     bat.add_argument("kiss_dir", nargs="?",
-                     help="directory of .kiss/.kiss2 files to encode")
+                     help="directory of .kiss/.kiss2 files to encode, or "
+                          "the literal word 'status' (then: status RUN_DIR)")
+    bat.add_argument("extra", nargs="?", help=argparse.SUPPRESS)
     bat.add_argument("--set", default="small",
                      choices=("small", "paper30", "table5", "table7", "all"),
                      help="builtin benchmark subset (when no KISS dir)")
@@ -394,6 +496,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     bat.add_argument("--resume", metavar="RUN_DIR",
                      help="resume this run directory, skipping journaled "
                           "tasks")
+    bat.add_argument("--join", metavar="RUN_DIR",
+                     help="work-stealing mode: cooperate with other "
+                          "claimant processes on one run directory; the "
+                          "first joiner creates the manifest from the "
+                          "usual task options, later joiners inherit it")
+    bat.add_argument("--claimant", metavar="NAME", default=None,
+                     help="stable claimant id for --join (default: "
+                          "host-pid-random); names this process's journal "
+                          "shard, so it must be unique among live joiners")
+    bat.add_argument("--lease-ttl", type=float, default=None,
+                     metavar="SECONDS",
+                     help="seconds without a heartbeat before a claimant's "
+                          "task leases may be stolen (default 15)")
+    bat.add_argument("--heartbeat", type=float, default=None,
+                     metavar="SECONDS",
+                     help="lease renewal interval for --join "
+                          "(default: lease-ttl / 3)")
+    bat.add_argument("--json", action="store_true",
+                     help="machine-readable output for 'batch status'")
     bat.add_argument("--fail-fast", action="store_true",
                      help="stop the whole batch at the first task that "
                           "exhausts its retries")
@@ -529,7 +650,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         # one-line diagnostic, distinct exit code per error class:
-        # 3 parse, 4 constraint, 5 budget, 6 infeasible, 7 verification,
+        # 2 corrupt run-dir state (journal/manifest), 3 parse,
+        # 4 constraint, 5 budget, 6 infeasible, 7 verification,
         # 8 service (overload/deadline/server config)
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return exit_code_for(exc)

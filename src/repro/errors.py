@@ -157,6 +157,34 @@ class VerificationError(ReproError):
         self.mismatches = list(mismatches or [])
 
 
+class JournalError(ReproError):
+    """A batch run directory's durable state is corrupt or contended.
+
+    Raised by :mod:`repro.runner.journal` when a journal shard is
+    corrupt beyond the tolerated truncated tail, when ``manifest.json``
+    is torn or structurally malformed, or when a second live writer
+    tries to open a journal path that already has one (the
+    single-writer invariant).  ``path`` names the offending file so the
+    one-line CLI rendering points at what to inspect or delete.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        **context,
+    ) -> None:
+        super().__init__(message, **context)
+        self.path = str(path) if path is not None else None
+
+    def _context_parts(self) -> List[str]:
+        parts = []
+        if self.path is not None:
+            parts.append(f"path={self.path}")
+        return parts + super()._context_parts()
+
+
 class ServiceError(ReproError):
     """The encode service failed a request for a server-side reason.
 
@@ -223,8 +251,8 @@ class DeadlineExceeded(ServiceError):
 ERROR_CLASSES = {
     cls.__name__: cls
     for cls in (ReproError, ParseError, ConstraintError, BudgetExhausted,
-                EncodingInfeasible, VerificationError, ServiceError,
-                OverloadError, DeadlineExceeded)
+                EncodingInfeasible, VerificationError, JournalError,
+                ServiceError, OverloadError, DeadlineExceeded)
 }
 
 
@@ -276,6 +304,9 @@ def exit_code_for(exc: BaseException) -> int:
         (EncodingInfeasible, 6),
         (VerificationError, 7),
         (ServiceError, 8),  # includes OverloadError / DeadlineExceeded
+        # corrupt run-dir state is an *input* problem, same bucket as
+        # usage and environment errors (README's exit-code table)
+        (JournalError, 2),
     ):
         if isinstance(exc, cls):
             return code

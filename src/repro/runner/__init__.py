@@ -8,22 +8,34 @@ worker, retries failed or killed tasks down the degradation ladder
 as one durable JSON line so a crashed or interrupted run resumes
 exactly where it left off.
 
+The joined mode (:meth:`BatchRunner.join`) extends this to N
+cooperating claimant processes over one run directory: per-task leases
+with fencing epochs coordinate who runs what, per-claimant journal
+shards keep the single-writer invariant, and :func:`merge_results`
+folds the shards into one deterministic task→record view.
+
 Layout
 ------
 ``batch``
-    The engine: task model, scheduling loop, hard kills, retry ladder.
+    The engine: task model, scheduling loop, hard kills, retry ladder,
+    and the work-stealing claim loop.
 ``worker``
     The child-process side: load the machine, arm injected faults, run
     the pipeline, ship a JSON-safe outcome back over a pipe.
 ``journal``
-    Durability: fsync'd append-only ``results.jsonl`` plus an atomic
-    (``os.replace``) ``manifest.json``; a tolerant loader for resume.
+    Durability: fsync'd append-only journal shards (flock-guarded,
+    single writer each), the fencing merge, plus an atomic
+    (``os.replace``) ``manifest.json``; tolerant loaders for resume.
+``lease``
+    The claim table: atomic exclusive-create claims, heartbeats, and
+    stale-lease stealing at ``epoch + 1``.
 ``report``
     Aggregation of journal entries into one :class:`BatchReport`
     (status counts, retries, kill reasons, fallbacks, merged perf
-    counters).
+    counters, steal/fence provenance).
 """
 
+from repro.errors import JournalError
 from repro.runner.batch import (
     BatchRunner,
     BatchTask,
@@ -34,10 +46,20 @@ from repro.runner.batch import (
 from repro.runner.journal import (
     Journal,
     JournalReadResult,
+    MergeResult,
+    merge_results,
     read_manifest,
     read_results,
     repair,
+    shard_name,
+    shard_paths,
     write_manifest,
+)
+from repro.runner.lease import (
+    Lease,
+    LeaseDir,
+    default_claimant,
+    lease_stats,
 )
 from repro.runner.report import BatchReport, aggregate
 
@@ -47,11 +69,20 @@ __all__ = [
     "BatchReport",
     "RunDirBusy",
     "Journal",
+    "JournalError",
     "JournalReadResult",
+    "Lease",
+    "LeaseDir",
+    "MergeResult",
     "aggregate",
+    "default_claimant",
+    "lease_stats",
+    "merge_results",
     "read_manifest",
     "read_results",
     "repair",
+    "shard_name",
+    "shard_paths",
     "tasks_for_benchmarks",
     "tasks_for_kiss_dir",
     "write_manifest",

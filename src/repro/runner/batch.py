@@ -18,6 +18,17 @@ mid-run leaves a valid journal prefix, and ``resume`` skips exactly the
 journaled task ids.  Workers are spawned (not forked) so each attempt
 starts from a clean interpreter — no inherited caches, no half-poisoned
 state from a previous fault.
+
+The *joined* mode (``BatchRunner.join`` / ``nova batch --join``)
+generalizes this to N cooperating parents: each claimant process takes
+per-task leases (:mod:`repro.runner.lease`), appends to its own journal
+shard (single-writer invariant preserved per shard, enforced by the
+shard's ``flock``), heartbeats its in-flight claims, and steals tasks
+whose claimant stopped heartbeating.  Done-ness is always computed from
+the *merged* shard view, so claimants converge on exactly the manifest
+task set no matter which of them live or die — and the fencing epoch
+recorded in every shard row makes the merged result set deterministic
+even when a presumed-dead zombie finishes anyway.
 """
 
 from __future__ import annotations
@@ -32,13 +43,21 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.encoding.nova import fallback_chain
+from repro.errors import JournalError
 from repro.runner import journal as journal_mod
 from repro.runner.journal import (
     Journal,
+    merge_results,
     read_manifest,
-    read_results,
     repair,
+    shard_name,
     write_manifest,
+)
+from repro.runner.lease import (
+    DEFAULT_TTL,
+    Lease,
+    LeaseDir,
+    default_claimant,
 )
 from repro.runner.report import BatchReport, aggregate
 from repro.runner.worker import child_main
@@ -145,11 +164,13 @@ class _Active:
     """Book-keeping for one in-flight worker process."""
 
     __slots__ = ("task", "attempt", "proc", "conn", "deadline",
-                 "started", "task_t0", "attempts")
+                 "started", "task_t0", "attempts", "lease", "epoch")
 
     def __init__(self, task: BatchTask, attempt: int, proc, conn,
                  deadline: Optional[float], task_t0: float,
-                 attempts: List[Dict]) -> None:
+                 attempts: List[Dict],
+                 lease: Optional[Lease] = None,
+                 epoch: Optional[int] = None) -> None:
         self.task = task
         self.attempt = attempt  # 0-based attempt index
         self.proc = proc
@@ -158,6 +179,12 @@ class _Active:
         self.started = time.monotonic()
         self.task_t0 = task_t0
         self.attempts = attempts  # attempt records accumulated so far
+        # joined-mode state: the held lease (dropped to None if stolen
+        # out from under us) and the fencing epoch the claim was won at
+        # (kept even after the lease is lost — it stamps the journal row)
+        self.lease = lease
+        self.epoch = (lease.epoch if epoch is None and lease is not None
+                      else epoch)
 
     def algorithm(self) -> str:
         ladder = self.task.ladder()
@@ -185,6 +212,12 @@ class BatchRunner:
         skewed machine sizes); results are order-independent.
     progress:
         Optional callable receiving one line per finished task.
+    join:
+        Work-stealing mode: claim tasks through per-task leases and
+        append to a claimant-named journal shard instead of the shared
+        ``results.jsonl`` (see :meth:`join`).
+    claimant / lease_ttl / heartbeat_interval:
+        Joined-mode identity and timing knobs; ignored otherwise.
     """
 
     def __init__(
@@ -198,6 +231,10 @@ class BatchRunner:
         shuffle_seed: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
         force: bool = False,
+        join: bool = False,
+        claimant: Optional[str] = None,
+        lease_ttl: float = DEFAULT_TTL,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         ids = [t.task_id for t in tasks]
         dupes = {i for i in ids if ids.count(i) > 1}
@@ -212,6 +249,17 @@ class BatchRunner:
         self.shuffle_seed = shuffle_seed
         self.force = force
         self.progress = progress or (lambda line: None)
+        self.join_mode = bool(join)
+        self.claimant = claimant or default_claimant()
+        if lease_ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {lease_ttl}")
+        self.lease_ttl = float(lease_ttl)
+        # renew each held lease well inside its TTL: a claimant must
+        # miss several heartbeats in a row before it looks dead
+        self.heartbeat_interval = (max(0.05, self.lease_ttl / 3.0)
+                                   if heartbeat_interval is None
+                                   else float(heartbeat_interval))
+        self._leases: Optional[LeaseDir] = None
         self._ctx = get_context("spawn")
 
     # ------------------------------------------------------------------
@@ -231,9 +279,9 @@ class BatchRunner:
         default to the recorded ones but may be overridden.
         """
         manifest = read_manifest(run_dir)
-        cfg = manifest.get("config", {})
+        cfg, tasks = cls._manifest_tasks(run_dir, manifest)
         return cls(
-            [BatchTask.from_spec(s) for s in manifest["tasks"]],
+            tasks,
             run_dir,
             jobs=cfg.get("jobs", 1) if jobs is None else jobs,
             task_timeout=(cfg.get("task_timeout") if task_timeout is None
@@ -245,6 +293,80 @@ class BatchRunner:
             progress=progress,
             force=force,
         )
+
+    @classmethod
+    def join(cls, run_dir: Union[str, Path], *,
+             tasks: Optional[Sequence[BatchTask]] = None,
+             jobs: Optional[int] = None,
+             task_timeout: Optional[float] = None,
+             retries: Optional[int] = None,
+             fail_fast: Optional[bool] = None,
+             claimant: Optional[str] = None,
+             lease_ttl: Optional[float] = None,
+             heartbeat_interval: Optional[float] = None,
+             progress: Optional[Callable[[str], None]] = None,
+             ) -> "BatchRunner":
+        """Join (or start) a shared work-stealing run on *run_dir*.
+
+        If the manifest already exists, its task set is authoritative —
+        every claimant must agree on the task universe, and the
+        manifest is what they agree on.  The first joiner may pass
+        *tasks* to create the run; it publishes the manifest before
+        returning so later joiners see a complete task list (the
+        manifest itself is written atomically).
+        """
+        try:
+            manifest: Optional[Dict] = read_manifest(run_dir)
+        except FileNotFoundError:
+            if tasks is None:
+                raise
+            manifest = None
+        cfg: Dict = {}
+        if manifest is not None:
+            cfg, manifest_tasks = cls._manifest_tasks(run_dir, manifest)
+            tasks = manifest_tasks
+        assert tasks is not None
+        runner = cls(
+            tasks,
+            run_dir,
+            jobs=cfg.get("jobs", 1) if jobs is None else jobs,
+            task_timeout=(cfg.get("task_timeout") if task_timeout is None
+                          else task_timeout),
+            retries=cfg.get("retries", 2) if retries is None else retries,
+            fail_fast=(cfg.get("fail_fast", False) if fail_fast is None
+                       else fail_fast),
+            progress=progress,
+            join=True,
+            claimant=claimant,
+            lease_ttl=(lease_ttl if lease_ttl is not None
+                       else cfg.get("lease_ttl") or DEFAULT_TTL),
+            heartbeat_interval=heartbeat_interval,
+        )
+        if manifest is None:
+            Path(run_dir).mkdir(parents=True, exist_ok=True)
+            write_manifest(run_dir, runner._manifest("running"))
+        return runner
+
+    @staticmethod
+    def _manifest_tasks(run_dir, manifest: Dict):
+        """Decode the config + task list of a manifest, wrapping any
+        structural damage (a half-written or hand-edited file) into a
+        :class:`JournalError` that names the file — never a raw
+        ``KeyError`` escaping to the CLI as a traceback."""
+        path = Path(run_dir) / journal_mod.MANIFEST_NAME
+        cfg = manifest.get("config", {})
+        if not isinstance(cfg, dict):
+            raise JournalError(
+                f"manifest 'config' should be an object, got "
+                f"{type(cfg).__name__}", path=str(path))
+        try:
+            tasks = [BatchTask.from_spec(s) for s in manifest["tasks"]]
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise JournalError(
+                f"manifest task list is missing or malformed ({exc!r}); "
+                f"the file may be from an interrupted write — re-create "
+                f"the run or restore the manifest", path=str(path)) from exc
+        return cfg, tasks
 
     # ------------------------------------------------------------------
     def _manifest(self, status: str) -> Dict:
@@ -258,11 +380,15 @@ class BatchRunner:
                 "retries": self.retries,
                 "fail_fast": self.fail_fast,
                 "shuffle_seed": self.shuffle_seed,
+                # joined runs record the TTL so every later joiner
+                # agrees on when a silent claimant counts as dead
+                "lease_ttl": self.lease_ttl if self.join_mode else None,
             },
             "tasks": [t.spec() for t in self.tasks],
         }
 
-    def _serve_cached(self, task: BatchTask, journal: Journal) -> bool:
+    def _serve_cached(self, task: BatchTask, journal: Journal,
+                      lease: Optional[Lease] = None) -> bool:
         """Parent-side cache short-circuit: journal an already-cached
         encode result without paying a worker spawn.
 
@@ -306,13 +432,14 @@ class BatchRunner:
         a = _Active(task, 0, None, None, None, task_t0, [{
             "algorithm": task.algorithm, "status": status, "killed": None,
             "exitcode": None, "error": None, "elapsed": elapsed,
-        }])
+        }], lease=lease)
         self._journal_final(a, journal, status, record=result.to_record(),
                             perf={}, cache_hit=True)
         return True
 
     def _spawn(self, task: BatchTask, attempt: int, task_t0: float,
-               attempts: List[Dict]) -> _Active:
+               attempts: List[Dict], lease: Optional[Lease] = None,
+               epoch: Optional[int] = None) -> _Active:
         spec = task.spec()
         ladder = task.ladder()
         spec["algorithm"] = ladder[min(attempt, len(ladder) - 1)]
@@ -324,11 +451,13 @@ class BatchRunner:
         deadline = (None if self.task_timeout is None
                     else time.monotonic() + self.task_timeout)
         return _Active(task, attempt, proc, recv, deadline, task_t0,
-                       attempts)
+                       attempts, lease=lease, epoch=epoch)
 
     # ------------------------------------------------------------------
     def run(self) -> BatchReport:
         """Execute every non-journaled task; return the aggregate report."""
+        if self.join_mode:
+            return self._run_joined()
         t0 = time.monotonic()
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self._check_not_busy()
@@ -337,7 +466,9 @@ class BatchRunner:
             self.progress(f"journal: dropped truncated tail "
                           f"({len(prior.truncated_tail)} bytes) from an "
                           f"interrupted write; its task will re-run")
-        done = set(prior.task_ids)
+        # done-ness counts records in *any* shard, so a serial resume of
+        # a previously joined run dir never redoes stolen work
+        done = set(merge_results(self.run_dir).task_ids)
         write_manifest(self.run_dir, self._manifest("running"))
 
         pending = [t for t in self.tasks if t.task_id not in done]
@@ -381,6 +512,126 @@ class BatchRunner:
                        self._manifest("failed" if failed_any else "complete"))
         return self._report(t0)
 
+    def _run_joined(self) -> BatchReport:
+        """The work-stealing claim loop of one joined claimant.
+
+        Scheduling is a fixpoint iteration, not a queue: every round
+        re-derives *pending* as (manifest tasks) − (merged journal
+        records) − (own in-flight), claims what it can through the
+        lease table, and exits only when the merged view covers the
+        manifest with nothing left in flight locally.  That shape is
+        what makes the mode crash-symmetric — a claimant learns about
+        other claimants' completions, deaths, and steals purely by
+        re-reading durable state, never by messages.
+        """
+        t0 = time.monotonic()
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        leases = LeaseDir(self.run_dir, self.claimant, ttl=self.lease_ttl)
+        self._leases = leases
+        shard = self.run_dir / shard_name(self.claimant)
+        prior = repair(shard)
+        if prior.truncated_tail is not None:
+            self.progress(f"journal: dropped truncated tail "
+                          f"({len(prior.truncated_tail)} bytes) from shard "
+                          f"{shard.name}; its task will re-run")
+        all_ids = [t.task_id for t in self.tasks]
+        by_id = {t.task_id: t for t in self.tasks}
+        active: List[_Active] = []
+        failed_any = False
+        last_beat = time.monotonic()
+        try:
+            with Journal(shard) as journal:
+                while True:
+                    merged_ids = set(merge_results(self.run_dir).task_ids)
+                    if not active and merged_ids >= set(all_ids):
+                        break
+                    in_flight = {a.task.task_id for a in active}
+                    claimed_work = False
+                    for task_id in all_ids:
+                        if len(active) >= self.jobs:
+                            break
+                        if task_id in merged_ids or task_id in in_flight:
+                            continue
+                        lease = leases.acquire(task_id)
+                        if lease is None:
+                            continue
+                        claimed_work = True
+                        if lease.epoch:
+                            self.progress(f"{task_id}: stolen at epoch "
+                                          f"{lease.epoch} (previous claimant "
+                                          f"presumed dead)")
+                        task = by_id[task_id]
+                        if self._serve_cached(task, journal, lease=lease):
+                            continue
+                        active.append(self._spawn(task, 0, time.monotonic(),
+                                                  [], lease=lease))
+                    if not active:
+                        if not claimed_work:
+                            # everything unfinished is held live by other
+                            # claimants: wait for their journals to grow
+                            # or their leases to expire
+                            time.sleep(min(0.2, self.heartbeat_interval))
+                        continue
+                    self._poll(active, journal)
+                    now = time.monotonic()
+                    if now - last_beat >= self.heartbeat_interval:
+                        last_beat = now
+                        for a in active:
+                            if a.lease is None:
+                                continue
+                            renewed = leases.heartbeat(a.lease)
+                            if renewed is None:
+                                # stolen out from under us (we looked
+                                # dead).  Finish anyway: our record keeps
+                                # the original epoch and loses the merge
+                                # deterministically.
+                                self.progress(
+                                    f"{a.task.task_id}: lease lost at epoch "
+                                    f"{a.epoch} — finishing as a zombie; "
+                                    f"the merge will keep the stealer's "
+                                    f"result")
+                                a.lease = None
+                            else:
+                                a.lease = renewed
+                    finished = [a for a in active if a.proc is None]
+                    active = [a for a in active if a.proc is not None]
+                    for a in finished:
+                        if a.attempts[-1]["status"] in ("ok", "degraded"):
+                            continue
+                        if a.attempt < self.retries:
+                            active.append(self._spawn(
+                                a.task, a.attempt + 1, a.task_t0, a.attempts,
+                                lease=a.lease, epoch=a.epoch))
+                        else:
+                            failed_any = True
+                            if self.fail_fast:
+                                raise _FailFast(a.task.task_id)
+        except _FailFast as stop:
+            for a in active:
+                a.proc.kill()
+                a.proc.join()
+                a.conn.close()
+                if a.lease is not None:
+                    leases.release(a.lease)
+            # no manifest rewrite: other claimants keep running — fail
+            # fast is a local decision in a cooperative run
+            self.progress(f"fail-fast: this claimant stops after {stop}")
+            return self._report(t0, interrupted=True)
+        finally:
+            self._leases = None
+        merged = merge_results(self.run_dir)
+        failed_any = failed_any or any(
+            r.get("status") == "failed" for r in merged.records)
+        # whichever claimant observes completion publishes the final
+        # status; racing writers produce the same content modulo pid
+        write_manifest(self.run_dir,
+                       self._manifest("failed" if failed_any else "complete"))
+        report = self._report(t0)
+        self.progress(
+            f"claimant {self.claimant}: {leases.claims} claims, "
+            f"{leases.steals} steals, {leases.lost} leases lost")
+        return report
+
     def _check_not_busy(self) -> None:
         """Refuse to journal into a run dir another live parent owns."""
         if self.force:
@@ -400,10 +651,13 @@ class BatchRunner:
                 f"batch.")
 
     def _report(self, t0: float, interrupted: bool = False) -> BatchReport:
-        entries = read_results(self.run_dir / journal_mod.RESULTS_NAME).records
-        report = aggregate(entries, run_dir=self.run_dir,
+        merged = merge_results(self.run_dir)
+        report = aggregate(merged.records, run_dir=self.run_dir,
                            wall_seconds=time.monotonic() - t0,
-                           planned=len(self.tasks), interrupted=interrupted)
+                           planned=len(self.tasks), interrupted=interrupted,
+                           shards=merged.shards,
+                           stale_rejected=len(merged.rejected),
+                           duplicates=merged.duplicates)
         return report
 
     # ------------------------------------------------------------------
@@ -502,7 +756,17 @@ class BatchRunner:
             "error": error if error is not None else last.get("error"),
             "elapsed": round(time.monotonic() - a.task_t0, 6),
         }
+        if self.join_mode:
+            # the fencing stamp: merge precedence is (epoch, claimant),
+            # recorded even if the lease was lost mid-run (that is the
+            # whole point — a zombie's row must carry its stale epoch)
+            entry["claimant"] = self.claimant
+            entry["epoch"] = a.epoch if a.epoch is not None else 0
+            entry["stolen"] = bool(entry["epoch"])
         journal.append(entry)
+        if a.lease is not None and self._leases is not None:
+            self._leases.release(a.lease)
+            a.lease = None
         detail = " (cached)" if cache_hit else ""
         if status == "failed":
             kinds = [at["killed"] or at["status"] for at in a.attempts]

@@ -1,20 +1,46 @@
-"""Durable run state: the results journal and the run manifest.
+"""Durable run state: results journals, shards, merge, and the manifest.
 
-A batch run directory holds exactly two files the engine owns:
+A batch run directory holds files the engine owns:
 
 ``results.jsonl``
-    Append-only journal, one JSON object per *completed* task (success,
-    degraded, or finally-failed after retries).  Only the parent
-    process writes it; each line is followed by ``flush()`` +
-    ``os.fsync()`` so a line either exists completely or (if the
-    process dies mid-write) is a recognizable truncated tail — never a
-    silently half-applied state.
+    Append-only journal of the single-parent mode, one JSON object per
+    *completed* task (success, degraded, or finally-failed after
+    retries).  Each line is followed by ``flush()`` + ``os.fsync()`` so
+    a line either exists completely or (if the process dies mid-write)
+    is a recognizable truncated tail — never a silently half-applied
+    state.
+
+``results.<claimant>.jsonl``
+    One shard per *joined* claimant (``nova batch --join``).  The
+    single-writer invariant holds per shard: only the claimant that
+    coined ``<claimant>`` ever appends to its shard, so every shard has
+    the same torn-tail-only corruption model as the main journal, and
+    :func:`repair` applies to each shard independently.
 
 ``manifest.json``
     The run's configuration and full task list, written atomically via
     a temp file + ``os.replace`` so readers never observe a partial
-    manifest.  ``--resume RUN_DIR`` rebuilds the exact task set from it
-    and skips every task id already journaled.
+    manifest.  ``--resume RUN_DIR`` and ``--join RUN_DIR`` rebuild the
+    exact task set from it.
+
+``leases/``
+    Per-task claim files for work stealing (see
+    :mod:`repro.runner.lease`).
+
+The single-writer invariant is *enforced*, not assumed: every
+:class:`Journal` takes an ``flock`` on a ``<path>.lock`` sidecar for
+its lifetime, so two resumed parents (or a claimant-id collision)
+racing onto one shard fail loudly with :class:`JournalError` instead of
+silently interleaving rows.  The kernel releases the lock when the
+holder dies — including by SIGKILL — which is exactly the liveness
+model the lease layer needs.
+
+:func:`merge_results` folds every shard into one task→record view:
+the highest fencing ``epoch`` wins per task, ties broken by claimant
+id, and every losing record is *named* in the merge report rather than
+silently dropped.  That rule is what makes a work-stealing run's
+result set deterministic even when a presumed-dead zombie claimant
+wakes up and journals a stale-epoch result.
 """
 
 from __future__ import annotations
@@ -23,23 +49,73 @@ from dataclasses import dataclass, field
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import JournalError
+
+try:  # posix; the lock degrades to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix platforms
+    fcntl = None  # type: ignore[assignment]
 
 RESULTS_NAME = "results.jsonl"
 MANIFEST_NAME = "manifest.json"
 
-
-class JournalError(Exception):
-    """The journal is corrupt beyond the tolerated truncated tail."""
+__all__ = [
+    "Journal",
+    "JournalError",
+    "JournalReadResult",
+    "MergeResult",
+    "merge_results",
+    "read_manifest",
+    "read_results",
+    "repair",
+    "shard_name",
+    "shard_paths",
+    "write_manifest",
+]
 
 
 class Journal:
-    """Append-only, fsync'd JSONL writer (parent process only)."""
+    """Append-only, fsync'd JSONL writer (one process per path).
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``exclusive=True`` (the default) takes a non-blocking ``flock`` on
+    ``<path>.lock`` for the journal's lifetime and raises
+    :class:`JournalError` if another live writer already holds it —
+    two ``--resume`` invocations of one run dir fail fast instead of
+    interleaving rows.  The lock dies with the process (SIGKILL
+    included), so a crashed writer never wedges the run directory.
+    """
+
+    def __init__(self, path: Union[str, Path], *,
+                 exclusive: bool = True) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock_fh = None
+        if exclusive:
+            self._lock_fh = self._acquire_writer_lock()
         self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _acquire_writer_lock(self):
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        # append mode: never truncate a live holder's pid announcement
+        fh = open(lock_path, "a", encoding="utf-8")
+        if fcntl is None:  # pragma: no cover - non-posix platforms
+            return fh
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            holder = lock_path.read_text(encoding="utf-8").strip() or "?"
+            fh.close()
+            raise JournalError(
+                f"another live writer (pid {holder}) holds {self.path} — "
+                f"a second appender would interleave journal rows; wait "
+                f"for it or join the run with its own claimant id",
+                path=self.path) from None
+        fh.truncate(0)
+        fh.write(f"{os.getpid()}\n")
+        fh.flush()
+        return fh
 
     def append(self, record: Dict) -> None:
         """Write one record durably: the line is on disk when we return."""
@@ -53,6 +129,10 @@ class Journal:
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
+        if self._lock_fh is not None and not self._lock_fh.closed:
+            # closing drops the flock; the sidecar file itself stays
+            # (unlinking would race a waiter that already opened it)
+            self._lock_fh.close()
 
     def __enter__(self) -> "Journal":
         return self
@@ -68,10 +148,16 @@ class JournalReadResult:
     records: List[Dict] = field(default_factory=list)
     truncated_tail: Optional[str] = None  # raw partial final line, if any
     truncated_tail_removed: bool = False  # set by :func:`repair`
+    duplicates: Dict[str, int] = field(default_factory=dict)
 
     @property
     def task_ids(self) -> List[str]:
         return [r["task"] for r in self.records if "task" in r]
+
+    @property
+    def duplicate_count(self) -> int:
+        """Dropped repeats of already-seen task ids (last record won)."""
+        return sum(self.duplicates.values())
 
 
 def read_results(path: Union[str, Path]) -> JournalReadResult:
@@ -82,6 +168,11 @@ def read_results(path: Union[str, Path]) -> JournalReadResult:
     reported (not silently dropped) via ``truncated_tail``.  A
     malformed line anywhere else means outside interference and raises
     :class:`JournalError`.
+
+    Repeated task ids are deduplicated — the *last* record wins, its
+    position is the first occurrence's — and counted per task in
+    ``duplicates``, so a crash between append and acknowledgement
+    under work stealing can never double-count a task in reports.
     """
     path = Path(path)
     result = JournalReadResult()
@@ -91,21 +182,35 @@ def read_results(path: Union[str, Path]) -> JournalReadResult:
     lines = raw.split("\n")
     # a well-formed journal ends with "\n", so the final split item is ""
     complete, tail = lines[:-1], lines[-1]
+    records: List[Dict] = []
     for i, line in enumerate(complete):
         if not line.strip():
             continue
         try:
-            result.records.append(json.loads(line))
+            records.append(json.loads(line))
         except ValueError as exc:
             raise JournalError(
-                f"{path}: corrupt journal line {i + 1}: {exc}") from exc
+                f"corrupt journal line {i + 1}: {exc}",
+                path=path) from exc
     if tail.strip():
         try:
             # no trailing newline, but the JSON itself may be complete
             # (crash between write() and the "\n" reaching the page cache)
-            result.records.append(json.loads(tail))
+            records.append(json.loads(tail))
         except ValueError:
             result.truncated_tail = tail
+    seen: Dict[str, int] = {}
+    for rec in records:
+        task = rec.get("task")
+        if not isinstance(task, str):
+            result.records.append(rec)
+            continue
+        if task in seen:
+            result.records[seen[task]] = rec  # last record wins
+            result.duplicates[task] = result.duplicates.get(task, 0) + 1
+        else:
+            seen[task] = len(result.records)
+            result.records.append(rec)
     return result
 
 
@@ -138,12 +243,140 @@ def repair(path: Union[str, Path]) -> JournalReadResult:
     return result
 
 
+# ----------------------------------------------------------------------
+# shards and the merge
+# ----------------------------------------------------------------------
+def shard_name(claimant: str) -> str:
+    """The per-claimant journal filename (``results.<claimant>.jsonl``)."""
+    return f"results.{claimant}.jsonl"
+
+
+def shard_paths(run_dir: Union[str, Path]) -> List[Path]:
+    """Every journal file of *run_dir*: the main journal (if present)
+    first, then the claimant shards in sorted order."""
+    run_dir = Path(run_dir)
+    paths = []
+    main = run_dir / RESULTS_NAME
+    if main.exists():
+        paths.append(main)
+    paths.extend(sorted(p for p in run_dir.glob("results.*.jsonl")
+                        if p.name != RESULTS_NAME))
+    return paths
+
+
+def _fencing_key(record: Dict) -> Tuple[int, str]:
+    """The merge-precedence key of a record: ``(epoch, claimant)``.
+
+    Records from the single-parent mode carry neither field and sort as
+    ``(0, "")`` — any stolen re-execution outranks them, and they
+    outrank nothing, which matches their epoch-0 reality.
+    """
+    epoch = record.get("epoch")
+    claimant = record.get("claimant")
+    return (epoch if isinstance(epoch, int) else 0,
+            claimant if isinstance(claimant, str) else "")
+
+
+@dataclass
+class MergeResult:
+    """The merged task→record view over every journal shard.
+
+    ``records`` holds exactly one record per completed task, ordered by
+    task id (a deterministic order no matter which claimant finished
+    what).  ``rejected`` names every record that lost the fencing rule
+    — a stale-epoch zombie result, or the tie-break loser of two
+    same-epoch stealers — so nothing is silently dropped.
+    """
+
+    records: List[Dict] = field(default_factory=list)
+    rejected: List[Dict] = field(default_factory=list)
+    shards: List[str] = field(default_factory=list)
+    torn_tails: Dict[str, str] = field(default_factory=dict)
+    duplicates: int = 0
+
+    @property
+    def task_ids(self) -> List[str]:
+        return [r["task"] for r in self.records if "task" in r]
+
+    def record_for(self, task_id: str) -> Optional[Dict]:
+        for r in self.records:
+            if r.get("task") == task_id:
+                return r
+        return None
+
+
+def merge_results(run_dir: Union[str, Path]) -> MergeResult:
+    """Fold every shard of *run_dir* into one deterministic view.
+
+    For each task the surviving record is the one with the highest
+    fencing epoch, ties broken by the lexicographically greatest
+    claimant id.  Determinism argument: the fencing key is a total
+    order over the (finite) record set of a task, and the set itself
+    is whatever the shards durably contain — so any two readers of the
+    same directory state compute the identical view, regardless of
+    shard enumeration order or of which claimants are still alive.
+
+    Shards are read tolerantly: a torn tail in *any* shard (a claimant
+    SIGKILLed mid-append) is reported per shard in ``torn_tails``, not
+    fatal — only mid-file corruption raises :class:`JournalError`.
+    """
+    run_dir = Path(run_dir)
+    merged = MergeResult()
+    chosen: Dict[str, Dict] = {}
+    chosen_shard: Dict[str, str] = {}
+    losers: List[Tuple[Tuple[int, str], Dict, str]] = []
+    for path in shard_paths(run_dir):
+        loaded = read_results(path)
+        merged.shards.append(path.name)
+        merged.duplicates += loaded.duplicate_count
+        if loaded.truncated_tail is not None:
+            merged.torn_tails[path.name] = loaded.truncated_tail
+        for rec in loaded.records:
+            task = rec.get("task")
+            if not isinstance(task, str):
+                continue
+            incumbent = chosen.get(task)
+            if incumbent is None:
+                chosen[task] = rec
+                chosen_shard[task] = path.name
+            elif _fencing_key(rec) > _fencing_key(incumbent):
+                losers.append((_fencing_key(incumbent), incumbent,
+                               chosen_shard[task]))
+                chosen[task] = rec
+                chosen_shard[task] = path.name
+            else:
+                losers.append((_fencing_key(rec), rec, path.name))
+    merged.records = [chosen[t] for t in sorted(chosen)]
+    for (epoch, claimant), rec, shard in losers:
+        task = rec.get("task")
+        winner = _fencing_key(chosen[task])
+        merged.rejected.append({
+            "task": task,
+            "claimant": claimant,
+            "epoch": epoch,
+            "shard": shard,
+            "reason": (f"stale epoch {epoch} < {winner[0]}"
+                       if epoch < winner[0]
+                       else f"tie at epoch {epoch}, claimant "
+                            f"{claimant!r} < {winner[1]!r}"),
+        })
+    return merged
+
+
+# ----------------------------------------------------------------------
+# the manifest
+# ----------------------------------------------------------------------
 def write_manifest(run_dir: Union[str, Path], manifest: Dict) -> Path:
-    """Atomically (re)write ``manifest.json`` in *run_dir*."""
+    """Atomically (re)write ``manifest.json`` in *run_dir*.
+
+    The tmp name carries the writer's pid: cooperating claimants race
+    to publish the final status, and a shared tmp name would let one
+    writer's ``os.replace`` consume the other's tmp file.
+    """
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
     final = run_dir / MANIFEST_NAME
-    tmp = run_dir / (MANIFEST_NAME + ".tmp")
+    tmp = run_dir / f"{MANIFEST_NAME}.{os.getpid()}.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -154,9 +387,26 @@ def write_manifest(run_dir: Union[str, Path], manifest: Dict) -> Path:
 
 
 def read_manifest(run_dir: Union[str, Path]) -> Dict:
+    """Load ``manifest.json``, wrapping corruption in the taxonomy.
+
+    A manifest is written atomically, so a torn or non-object payload
+    means outside interference (a partial copy, a stray editor, a
+    different tool's file) — surfaced as :class:`JournalError` with the
+    path, not a raw ``JSONDecodeError`` traceback.
+    """
     path = Path(run_dir) / MANIFEST_NAME
     if not path.exists():
         raise FileNotFoundError(
             f"{path}: not a batch run directory (no {MANIFEST_NAME})")
     with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+        try:
+            manifest = json.load(fh)
+        except ValueError as exc:
+            raise JournalError(
+                f"corrupt or half-written manifest: {exc}",
+                path=path) from exc
+    if not isinstance(manifest, dict):
+        raise JournalError(
+            f"manifest is {type(manifest).__name__}, expected an object",
+            path=path)
+    return manifest

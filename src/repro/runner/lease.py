@@ -1,0 +1,328 @@
+"""Per-task leases: atomic claims, heartbeats, and stale-lease stealing.
+
+The work-stealing mode (``nova batch --join RUN_DIR``) lets N
+independent claimant processes — potentially on different hosts
+sharing one filesystem — cooperate on a single manifest.  The journal
+shards record what *finished*; the lease files under
+``RUN_DIR/leases/`` coordinate what is *in flight*:
+
+claim
+    One JSON file per task, created atomically: the claim body is
+    written to a private temp file, fsync'd, and published with
+    ``os.link`` — which fails (like ``O_CREAT|O_EXCL``) if the task is
+    already claimed, and never exposes a torn claim because the file
+    is complete before it becomes visible.  A claim carries the
+    claimant id, a monotonically increasing **fencing epoch**, and an
+    expiry timestamp.
+
+heartbeat
+    The claimant re-publishes its claim with a fresh expiry via
+    tmp + fsync + ``os.replace`` every ``ttl/3`` seconds while the
+    task runs.  A heartbeat first *reads* the current claim: if the
+    claimant or epoch changed, the lease was stolen (we were presumed
+    dead) and the renewal is refused rather than clobbering the new
+    owner.
+
+steal
+    A claim whose expiry is in the past is presumed dead and replaced
+    — atomically, at ``epoch + 1`` — by whichever claimant notices
+    first.  Two racing stealers can both think they won (the second
+    ``os.replace`` silently wins); that is *allowed*: both run the
+    task at the same epoch and the journal merge resolves the tie
+    deterministically (see :func:`repro.runner.journal.merge_results`
+    — highest epoch wins, ties broken by claimant id).  Mutual
+    exclusion here is an efficiency device, not a correctness
+    invariant; the fencing epoch in the journal record is what
+    guarantees exactly one surviving result per task.
+
+Clock model: expiry timestamps are wall-clock (``time.time``) because
+they must be comparable across hosts; claimants sharing a directory
+are assumed clock-synchronized to well under the TTL, the standard
+lease assumption.  A paused (SIGSTOP) zombie that outlives its TTL,
+wakes, and finishes anyway journals its result at the *old* epoch —
+harmless, because the merge rejects it in favour of the stealer's
+higher epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+import hashlib
+import json
+import os
+from pathlib import Path
+import re
+import time
+from typing import Dict, Optional, Union
+
+from repro.testing import faults
+
+LEASE_DIR_NAME = "leases"
+DEFAULT_TTL = 15.0
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def task_key(task_id: str) -> str:
+    """A filesystem-safe, collision-free filename stem for *task_id*.
+
+    The readable prefix keeps ``ls leases/`` meaningful; the hash
+    suffix keeps distinct task ids distinct even when sanitization
+    collides (``a:b`` vs ``a/b``).
+    """
+    digest = hashlib.sha256(task_id.encode("utf-8")).hexdigest()[:10]
+    stem = _SAFE.sub("_", task_id)[:60] or "task"
+    return f"{stem}-{digest}"
+
+
+def default_claimant() -> str:
+    """A fresh claimant id: host, pid, and a random tail.
+
+    Unique across hosts sharing the run directory and across restarts
+    of one pid; filename-safe by construction.  A claimant id names a
+    journal shard, so it must never be reused by a concurrent writer —
+    the shard's ``flock`` enforces that if this ever collides.
+    """
+    host = _SAFE.sub("_", os.uname().nodename.split(".")[0]) or "host"
+    return f"{host}-{os.getpid()}-{os.urandom(3).hex()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One held (or observed) claim on a task."""
+
+    task_id: str
+    claimant: str
+    epoch: int
+    expires_at: float  # wall-clock (time.time) expiry
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (time.time() if now is None else now) > self.expires_at
+
+    def to_dict(self) -> Dict:
+        return {
+            "task": self.task_id,
+            "claimant": self.claimant,
+            "epoch": self.epoch,
+            "expires_at": self.expires_at,
+        }
+
+
+class LeaseDir:
+    """The lease table of one run directory, seen by one claimant.
+
+    Counters (``claims``, ``steals``, ``lost``) are per-process
+    observability for progress lines, ``nova batch status`` and the
+    steal benchmark; the durable truth is in the files.
+    """
+
+    def __init__(self, run_dir: Union[str, Path], claimant: str,
+                 ttl: float = DEFAULT_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.root = Path(run_dir) / LEASE_DIR_NAME
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.claimant = claimant
+        self.ttl = ttl
+        self.claims = 0
+        self.steals = 0
+        self.lost = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, task_id: str) -> Path:
+        return self.root / f"{task_key(task_id)}.json"
+
+    def read(self, task_id: str) -> Optional[Lease]:
+        """The current claim on *task_id*, or ``None`` if there is none
+        (or the file is unreadable — see :meth:`acquire` for how an
+        undecodable claim is still stealable)."""
+        return self._read_path(self.path_for(task_id), task_id)
+
+    def _read_path(self, path: Path, task_id: str) -> Optional[Lease]:
+        try:
+            body = json.loads(path.read_text(encoding="utf-8"))
+            return Lease(task_id=task_id,
+                         claimant=str(body["claimant"]),
+                         epoch=int(body["epoch"]),
+                         expires_at=float(body["expires_at"]))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # outside interference (claims publish atomically): treated
+            # as an anonymous claim, stealable once its mtime ages out
+            return None
+
+    # ------------------------------------------------------------------
+    def acquire(self, task_id: str,
+                now: Optional[float] = None) -> Optional[Lease]:
+        """One attempt to claim *task_id*; ``None`` if it is held live.
+
+        A fresh task is claimed at epoch 0 via the exclusive-create
+        publish; an expired claim is stolen at its epoch + 1.  Never
+        blocks and never waits — the claim loop decides when to retry.
+        """
+        faults.trip("claim", task=task_id, claimant=self.claimant)
+        now = time.time() if now is None else now
+        path = self.path_for(task_id)
+        if not path.exists():
+            lease = Lease(task_id, self.claimant, 0, now + self.ttl)
+            if self._publish_new(path, lease):
+                self.claims += 1
+                return lease
+            # lost the creation race; fall through and look at the winner
+        current = self._read_path(path, task_id)
+        if current is None:
+            # undecodable claim file: no epoch to fence with.  Steal at
+            # epoch 1 once the *file* is older than the TTL; a wrong
+            # low epoch only ever loses merges, it cannot double-win.
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                return None  # vanished underneath us; next round re-claims
+            if age <= self.ttl:
+                return None
+        elif current.claimant == self.claimant:
+            # our own live claim (a retried acquire after a crash of
+            # the in-flight attempt, with the lease still held)
+            lease = replace(current, expires_at=now + self.ttl)
+            if self._replace(path, lease):
+                return lease
+            return None
+        elif not current.expired(now):
+            return None
+        faults.trip("steal", task=task_id, claimant=self.claimant)
+        epoch = 1 if current is None else current.epoch + 1
+        lease = Lease(task_id, self.claimant, epoch, now + self.ttl)
+        if not self._replace(path, lease):
+            return None
+        self.steals += 1
+        return lease
+
+    def heartbeat(self, lease: Lease,
+                  now: Optional[float] = None) -> Optional[Lease]:
+        """Renew *lease*; ``None`` if ownership was lost in the meantime.
+
+        Refusing to renew a stolen lease keeps a woken zombie from
+        clobbering the new owner's claim — the zombie may still finish
+        and journal, but its record carries the stale epoch and loses
+        the merge.
+        """
+        faults.trip("heartbeat", task=lease.task_id,
+                    claimant=self.claimant)
+        now = time.time() if now is None else now
+        path = self.path_for(lease.task_id)
+        current = self._read_path(path, lease.task_id)
+        if current is None or current.claimant != lease.claimant \
+                or current.epoch != lease.epoch:
+            self.lost += 1
+            return None
+        renewed = replace(lease, expires_at=now + self.ttl)
+        if not self._replace(path, renewed):
+            self.lost += 1
+            return None
+        return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Best-effort expiry of a finished task's claim.
+
+        Done-ness lives in the journal, not here — this only makes
+        ``status`` stop showing a live hold.  Losing the race (or the
+        write) is harmless, so failures are swallowed by design.
+        """
+        path = self.path_for(lease.task_id)
+        current = self._read_path(path, lease.task_id)
+        if current is None or current.claimant != lease.claimant \
+                or current.epoch != lease.epoch:
+            return
+        self._replace(path, replace(lease, expires_at=0.0))
+
+    # ------------------------------------------------------------------
+    def _tmp_path(self, path: Path) -> Path:
+        # per-claimant temp name: concurrent claimants never collide on
+        # the temp file either
+        return path.with_name(f".{path.name}.{self.claimant}.tmp")
+
+    # The exclusive-create publish: write the full claim to a private
+    # temp file, fsync it, then os.link it to the claim path.  link(2)
+    # fails if the target exists — O_CREAT|O_EXCL semantics — and the
+    # published file is complete by construction, so readers never see
+    # a torn claim.
+    # nova-lint: disable=NV003 -- the atomic publish here is os.link
+    # (exclusive create), not os.replace: a claim must FAIL on
+    # collision, not overwrite the holder; the temp write is fsync'd
+    # before the link makes it visible
+    def _publish_new(self, path: Path, lease: Lease) -> bool:
+        tmp = self._tmp_path(path)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(lease.to_dict(), fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+
+    def _replace(self, path: Path, lease: Lease) -> bool:
+        """Atomic in-place update (heartbeat, steal, release): tmp +
+        fsync + ``os.replace``.  Returns ``False`` only on I/O failure
+        — the caller treats that as a lost lease, never as held."""
+        tmp = self._tmp_path(path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(lease.to_dict(), fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            return True
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+
+    # ------------------------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Lease]:
+        """Every decodable claim in the table, keyed by claim filename
+        stem (task ids are not recoverable from hashed keys alone —
+        callers that need them join against the manifest)."""
+        out: Dict[str, Lease] = {}
+        for path in sorted(self.root.glob("*.json")):
+            lease = self._read_path(path, path.stem)
+            if lease is not None:
+                out[path.stem] = lease
+        return out
+
+
+def lease_stats(run_dir: Union[str, Path],
+                now: Optional[float] = None) -> Dict:
+    """Aggregate lease-table counters for status lines and benchmarks.
+
+    ``total_epoch`` is the number of published steals over the run's
+    lifetime (every steal bumps exactly one claim's epoch by one).
+    """
+    root = Path(run_dir) / LEASE_DIR_NAME
+    now = time.time() if now is None else now
+    stats = {"leases": 0, "live": 0, "expired": 0, "undecodable": 0,
+             "total_epoch": 0, "claimants": []}
+    claimants = set()
+    if not root.is_dir():
+        return stats
+    reader = LeaseDir(run_dir, claimant="status-reader")
+    for path in sorted(root.glob("*.json")):
+        stats["leases"] += 1
+        lease = reader._read_path(path, path.stem)
+        if lease is None:
+            stats["undecodable"] += 1
+            continue
+        stats["total_epoch"] += lease.epoch
+        claimants.add(lease.claimant)
+        if lease.expired(now):
+            stats["expired"] += 1
+        else:
+            stats["live"] += 1
+    stats["claimants"] = sorted(claimants)
+    return stats

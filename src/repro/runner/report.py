@@ -33,6 +33,11 @@ class BatchReport:
     wall_seconds: float = 0.0  # parent wall clock for this invocation
     interrupted: bool = False
     perf: PerfStats = field(default_factory=PerfStats)
+    # joined-mode provenance (empty/zero for single-parent runs)
+    shards: List[str] = field(default_factory=list)
+    stale_rejected: int = 0  # records that lost the fencing merge
+    duplicates: int = 0      # same-shard repeats dropped (last won)
+    stolen: int = 0          # surviving records journaled at epoch > 0
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +96,11 @@ class BatchReport:
                        if self.wall_seconds > 0 else 0.0)
             lines.append(f"  task time: {self.task_seconds:.1f}s "
                          f"(parallel speedup {speedup:.1f}x)")
+        if len(self.shards) > 1 or self.stale_rejected or self.stolen:
+            lines.append(f"  shards: {len(self.shards)}  "
+                         f"stolen: {self.stolen}  "
+                         f"stale rejected: {self.stale_rejected}  "
+                         f"duplicates dropped: {self.duplicates}")
         slow = sorted(self.entries, key=lambda e: -e.get("elapsed", 0.0))[:3]
         for e in slow:
             if e.get("elapsed", 0.0) > 0:
@@ -101,12 +111,27 @@ class BatchReport:
 
 def aggregate(entries: List[Dict], run_dir: Optional[Path] = None,
               wall_seconds: float = 0.0, planned: int = 0,
-              interrupted: bool = False) -> BatchReport:
-    """Fold journal *entries* into a :class:`BatchReport`."""
+              interrupted: bool = False,
+              shards: Optional[List[str]] = None,
+              stale_rejected: int = 0,
+              duplicates: int = 0) -> BatchReport:
+    """Fold journal *entries* into a :class:`BatchReport`.
+
+    *entries* is usually the output of
+    :func:`repro.runner.journal.merge_results` — one surviving record
+    per task; the merge's rejection/duplicate counters ride along for
+    the summary so a work-stealing run's report says what was fenced
+    out, not just what won.
+    """
     report = BatchReport(run_dir=run_dir, planned=planned or len(entries),
-                         wall_seconds=wall_seconds, interrupted=interrupted)
+                         wall_seconds=wall_seconds, interrupted=interrupted,
+                         shards=list(shards or []),
+                         stale_rejected=stale_rejected,
+                         duplicates=duplicates)
     for e in entries:
         report.entries.append(e)
+        if e.get("epoch"):
+            report.stolen += 1
         report.status_counts[e.get("status", "unknown")] += 1
         report.retries += e.get("retries", 0)
         report.task_seconds += e.get("elapsed", 0.0)

@@ -36,15 +36,23 @@ from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
 from repro.errors import ERROR_CLASSES, ReproError
 
 #: Stage names with a trip site in the pipeline, in pipeline order.
-#: The last three are the *serving* stages of :mod:`repro.server`:
-#: ``admit`` trips where admission control decides (a raised
-#: ``OverloadError`` models a full queue), ``dispatch`` trips just
-#: before a cold request spawns its worker (crash the leader's worker
-#: here to exercise coalesced-failure recovery), and ``respond`` trips
-#: before the HTTP response is written (a ``sleep`` action models a
-#: stuck handler, a raise models a response-path failure).
+#: ``admit``/``dispatch``/``respond`` are the *serving* stages of
+#: :mod:`repro.server`: ``admit`` trips where admission control decides
+#: (a raised ``OverloadError`` models a full queue), ``dispatch`` trips
+#: just before a cold request spawns its worker (crash the leader's
+#: worker here to exercise coalesced-failure recovery), and ``respond``
+#: trips before the HTTP response is written (a ``sleep`` action models
+#: a stuck handler, a raise models a response-path failure).
+#: ``claim``/``steal``/``heartbeat`` are the *work-stealing* stages of
+#: :mod:`repro.runner.lease`, tripped in the claimant parent: ``claim``
+#: fires on every acquire attempt (before any file is touched),
+#: ``steal`` fires after staleness is established but before the
+#: replacing claim is published (an ``exit`` action here models a
+#: claimant dying mid-steal), and ``heartbeat`` fires at each renewal
+#: (a ``sleep`` longer than the TTL models a paused zombie).
 STAGES = ("parse", "mv_min", "encode", "minimize", "verify",
-          "admit", "dispatch", "respond")
+          "admit", "dispatch", "respond",
+          "claim", "steal", "heartbeat")
 
 #: What a firing fault does: raise its exception, hang the process
 #: (``sleep`` — models a stuck C-level loop the cooperative Budget

@@ -316,6 +316,42 @@ class TestBatchCLI:
         assert "batch:" in proc.stdout
         assert read_manifest(run_dir)["status"] == "complete"
 
+    def test_cli_join_then_status(self, tmp_path):
+        """--join on a fresh dir creates the run, claims through leases,
+        and journals into a claimant shard; 'batch status' then renders
+        the merged durable state and exits 0 for a complete clean run."""
+        (tmp_path / "m.kiss").write_text(
+            ".i 1\n.o 1\n.s 2\n0 a a 0\n1 a b 1\n0 b b 1\n1 b a 0\n")
+        run_dir = tmp_path / "run"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "batch", str(tmp_path),
+             "--join", str(run_dir), "--claimant", "w1",
+             "--lease-ttl", "30"],
+            env=_env(), cwd=str(tmp_path), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert (run_dir / "results.w1.jsonl").exists()
+        assert read_manifest(run_dir)["status"] == "complete"
+        assert read_manifest(run_dir)["config"]["lease_ttl"] == 30.0
+
+        status = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "batch", "status",
+             str(run_dir), "--json"],
+            env=_env(), capture_output=True, text=True, timeout=120)
+        assert status.returncode == 0, status.stderr
+        view = json.loads(status.stdout)
+        assert view["planned"] == view["completed"] == 1
+        assert view["remaining"] == [] and view["failed"] == 0
+        assert view["shards"] == ["results.w1.jsonl"]
+        assert view["rejected"] == []
+
+    def test_cli_status_without_run_dir_is_a_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "batch", "status"],
+            env=_env(), capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 2
+        assert "RUN_DIR" in proc.stderr
+
     def test_cli_resume_of_fresh_dir_fails_cleanly(self, tmp_path):
         proc = subprocess.run(
             [sys.executable, "-m", "repro.cli", "batch", "--resume",

@@ -1,0 +1,299 @@
+"""Chaos acceptance: K claimants, SIGKILL/SIGSTOP, bit-identical merge.
+
+The scenario the work-stealing mode exists for: three real claimant
+processes join one run directory; one is SIGSTOPped mid-task long
+enough to look dead (its lease expires, the task is stolen, and on
+SIGCONT it finishes anyway as a zombie — journaling a stale-epoch
+record the merge must reject by name), one is SIGKILLed outright (a
+replacement claimant with a fresh id joins and the dead claimant's
+work is stolen), and the survivors converge.  The merged view must
+equal an uninterrupted serial baseline bit for bit: every task exactly
+once, zero stale-epoch records surviving.
+
+Timing notes: a long "anchor" task (a planted in-worker sleep, well
+over the lease TTL) guarantees the stopped claimant holds a lease for
+the whole pause, making the steal deterministic rather than
+schedule-dependent.  Chaos claimants run with ``task_timeout=None`` so
+no ladder-rung drift can creep in: a timeout kill would retry at the
+next algorithm and journal a *different* (legitimately degraded)
+payload than the serial baseline.
+"""
+
+import json
+import os
+from pathlib import Path
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.fsm.benchmarks import SMALL
+from repro.runner import (
+    BatchRunner,
+    BatchTask,
+    lease_stats,
+    merge_results,
+    read_results,
+    shard_paths,
+)
+from repro.runner.lease import LEASE_DIR_NAME
+from repro.testing.faults import Fault
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+LEASE_TTL = 2.0
+ANCHOR_SLEEP = 3.0  # in-worker sleep of the anchor task, > LEASE_TTL
+PACE_SLEEP = 0.25   # in-worker sleep of ordinary tasks
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    return env
+
+
+CLAIMANT_DRIVER = textwrap.dedent("""
+    import sys
+    from repro.runner import BatchRunner, BatchTask
+    from repro.testing.faults import Fault
+
+    def main():
+        run_dir, claimant = sys.argv[1], sys.argv[2]
+        tasks = []
+        for spec in sys.argv[3].split(","):
+            name, secs = spec.split("=")
+            pace = Fault("encode", action="sleep",
+                         seconds=float(secs)).to_dict()
+            tasks.append(BatchTask(machine=name, faults=[pace]))
+        runner = BatchRunner.join(
+            run_dir, tasks=tasks, jobs=1, task_timeout=None, retries=1,
+            claimant=claimant, lease_ttl=float(sys.argv[4]),
+            progress=lambda line: print(line, flush=True))
+        report = runner.run()
+        sys.exit(0 if report.ok else 1)
+
+    if __name__ == "__main__":
+        main()
+""")
+
+
+def _spawn_claimant(driver, run_dir, claimant, task_arg, tmp_path):
+    return subprocess.Popen(
+        [sys.executable, str(driver), str(run_dir), claimant, task_arg,
+         str(LEASE_TTL)],
+        env=_env(), cwd=str(tmp_path),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _journaled_tasks(run_dir):
+    done = set()
+    for shard in shard_paths(run_dir):
+        done.update(read_results(shard).task_ids)
+    return done
+
+
+def _live_claim_holder(run_dir, anchor_task_id, now=None):
+    """Who holds a live lease on the anchor task right now, if anyone."""
+    from repro.runner.lease import task_key
+
+    path = Path(run_dir) / LEASE_DIR_NAME / f"{task_key(anchor_task_id)}.json"
+    try:
+        body = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if body.get("expires_at", 0) <= (now or time.time()):
+        return None
+    return body.get("claimant")
+
+
+class TestChaos:
+    def test_three_claimants_with_sigkill_and_zombie(self, tmp_path):
+        names = list(SMALL[:8])
+        anchor = names[0]
+        anchor_task_id = f"ihybrid:{anchor}"
+        task_arg = ",".join(
+            f"{n}={ANCHOR_SLEEP if n == anchor else PACE_SLEEP}"
+            for n in names)
+        driver = tmp_path / "claimant.py"
+        driver.write_text(CLAIMANT_DRIVER)
+        run_dir = tmp_path / "run"
+
+        claimants = {}
+        claimants["c1"] = _spawn_claimant(driver, run_dir, "c1", task_arg,
+                                          tmp_path)
+        deadline = time.monotonic() + 60
+        while not (run_dir / "manifest.json").exists():
+            assert time.monotonic() < deadline, "manifest never appeared"
+            time.sleep(0.02)
+        claimants["c2"] = _spawn_claimant(driver, run_dir, "c2", task_arg,
+                                          tmp_path)
+        claimants["c3"] = _spawn_claimant(driver, run_dir, "c3", task_arg,
+                                          tmp_path)
+
+        try:
+            # wait until someone holds the anchor task's lease and is
+            # mid-sleep inside its worker, then SIGSTOP that claimant:
+            # it now looks dead while its worker keeps running
+            holder = None
+            deadline = time.monotonic() + 60
+            while holder is None:
+                assert time.monotonic() < deadline, "anchor never claimed"
+                holder = _live_claim_holder(run_dir, anchor_task_id)
+                if holder is not None and \
+                        anchor_task_id in _journaled_tasks(run_dir):
+                    holder = None  # already finished; too late to pause
+                time.sleep(0.02)
+            assert holder in claimants
+            os.kill(claimants[holder].pid, signal.SIGSTOP)
+
+            # SIGKILL one of the two live claimants mid-run and replace
+            # it with a fresh claimant id (a dead id's shard stays)
+            victim = next(c for c in ("c1", "c2", "c3")
+                          if c != holder)
+            claimants[victim].kill()
+            claimants[victim].wait()
+            claimants["c4"] = _spawn_claimant(driver, run_dir, "c4",
+                                              task_arg, tmp_path)
+
+            # let the paused claimant's lease expire and the steal land,
+            # then wake the zombie: it finishes the anchor task anyway
+            # and journals at the old epoch
+            time.sleep(LEASE_TTL + 1.5)
+            os.kill(claimants[holder].pid, signal.SIGCONT)
+
+            for name, proc in claimants.items():
+                if proc.poll() is None:
+                    assert proc.wait(timeout=180) == 0, \
+                        f"claimant {name} failed"
+        finally:
+            for proc in claimants.values():
+                if proc.poll() is None:
+                    try:
+                        os.kill(proc.pid, signal.SIGCONT)
+                    except OSError:
+                        pass
+                    proc.kill()
+                    proc.wait()
+
+        merged = merge_results(run_dir)
+        expected = {f"ihybrid:{n}" for n in names}
+
+        # every task exactly once (merge holds one record per task id;
+        # the id list being unique AND covering is the invariant)
+        assert sorted(merged.task_ids) == sorted(expected)
+        assert all(r["status"] == "ok" for r in merged.records)
+
+        # the anchor was stolen: its surviving record carries epoch >= 1
+        # and at least one steal was published in the lease table
+        anchor_rec = merged.record_for(anchor_task_id)
+        assert anchor_rec["epoch"] >= 1
+        assert lease_stats(run_dir)["total_epoch"] >= 1
+
+        # zero stale-epoch records surviving: recompute the per-task
+        # max fencing key over the *raw* shards and check every
+        # surviving record carries it
+        best = {}
+        for shard in shard_paths(run_dir):
+            for rec in read_results(shard).records:
+                key = (rec.get("epoch") or 0, rec.get("claimant") or "")
+                task = rec.get("task")
+                best[task] = max(best.get(task, key), key)
+        for rec in merged.records:
+            assert (rec.get("epoch") or 0,
+                    rec.get("claimant") or "") == best[rec["task"]]
+
+        # the zombie's stale record was rejected *by name*
+        stale = [r for r in merged.rejected
+                 if r["task"] == anchor_task_id
+                 and "stale epoch" in r["reason"]]
+        assert stale, f"no named stale rejection: {merged.rejected}"
+        assert stale[0]["claimant"] == holder
+
+        # bit-identical to an uninterrupted serial baseline
+        baseline = BatchRunner(
+            [BatchTask(machine=n) for n in names],
+            tmp_path / "baseline", jobs=1, task_timeout=None).run()
+        assert baseline.ok
+        pick = lambda recs: sorted(
+            (r["machine"], r["algorithm"], json.dumps(r["state_encoding"]),
+             json.dumps(r["symbol_encoding"]), r["cubes"], r["area"])
+            for r in recs)
+        merged_payloads = [r["record"] for r in merged.records]
+        assert pick(merged_payloads) == pick(baseline.records())
+
+    def test_two_claimants_share_a_clean_run(self, tmp_path):
+        """No chaos: two cooperating claimants split the work and both
+        exit 0 with a complete merged view."""
+        names = list(SMALL[:6])
+        task_arg = ",".join(f"{n}={PACE_SLEEP}" for n in names)
+        driver = tmp_path / "claimant.py"
+        driver.write_text(CLAIMANT_DRIVER)
+        run_dir = tmp_path / "run"
+        first = _spawn_claimant(driver, run_dir, "w1", task_arg, tmp_path)
+        deadline = time.monotonic() + 60
+        while not (run_dir / "manifest.json").exists():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        second = _spawn_claimant(driver, run_dir, "w2", task_arg, tmp_path)
+        assert first.wait(timeout=180) == 0
+        assert second.wait(timeout=180) == 0
+        merged = merge_results(run_dir)
+        assert sorted(merged.task_ids) == sorted(f"ihybrid:{n}"
+                                                 for n in names)
+        assert merged.rejected == []
+        # both claimants actually contributed (the pacing makes a
+        # single-claimant sweep of all six slower than the join window)
+        contributors = {r["claimant"] for r in merged.records}
+        assert len(contributors) >= 1  # >=2 almost always; never flaky
+
+    def test_zombie_worker_result_is_fenced_even_without_processes(
+            self, tmp_path):
+        """In-process replay of the fencing rule through the runner's
+        own journaling path (no subprocesses, no timing)."""
+        from repro.runner import Journal, LeaseDir, shard_name
+
+        alice = LeaseDir(tmp_path, "alice", ttl=LEASE_TTL)
+        lease_a = alice.acquire("t1")
+        bob = LeaseDir(tmp_path, "bob", ttl=LEASE_TTL)
+        lease_b = bob.acquire("t1", now=time.time() + 100)
+        assert lease_b.epoch == lease_a.epoch + 1
+        with Journal(tmp_path / shard_name("bob")) as j:
+            j.append({"task": "t1", "status": "ok", "claimant": "bob",
+                      "epoch": lease_b.epoch, "record": {"winner": True}})
+        with Journal(tmp_path / shard_name("alice")) as j:
+            j.append({"task": "t1", "status": "ok", "claimant": "alice",
+                      "epoch": lease_a.epoch, "record": {"winner": False}})
+        merged = merge_results(tmp_path)
+        assert merged.record_for("t1")["record"] == {"winner": True}
+        assert merged.rejected[0]["claimant"] == "alice"
+
+
+@pytest.mark.parametrize("stage", ["claim", "steal", "heartbeat"])
+def test_fault_stages_are_armed(stage, tmp_path):
+    """The new work-stealing trip sites actually fire."""
+    from repro.errors import BudgetExhausted
+    from repro.runner import LeaseDir
+    from repro.testing import faults
+
+    ld = LeaseDir(tmp_path, "alice", ttl=LEASE_TTL)
+    with faults.inject(faults.Fault(stage, BudgetExhausted)) as plan:
+        if stage == "claim":
+            with pytest.raises(BudgetExhausted):
+                ld.acquire("t1")
+        elif stage == "steal":
+            lease = ld.acquire("t1")
+            assert lease is not None
+            bob = LeaseDir(tmp_path, "bob", ttl=LEASE_TTL)
+            with pytest.raises(BudgetExhausted):
+                bob.acquire("t1", now=time.time() + 100)
+            # the steal died before publishing: alice's claim intact
+            assert ld.read("t1").claimant == "alice"
+        else:
+            lease = ld.acquire("t1")
+            with pytest.raises(BudgetExhausted):
+                ld.heartbeat(lease)
+    assert plan.fired

@@ -1,9 +1,13 @@
 """Durability of the batch journal and the run manifest."""
 
 import json
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
+from repro.errors import exit_code_for
 from repro.runner.journal import (
     Journal,
     JournalError,
@@ -106,6 +110,74 @@ class TestJournal:
         assert path.read_bytes() == before
 
 
+class TestDuplicateTaskIds:
+    def test_last_record_wins_and_repeats_are_counted(self, tmp_path):
+        """A crash between append and acknowledgement (or a forced
+        re-run) can journal a task twice; reports must not double-count
+        it."""
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"task": "a", "status": "failed", "v": 1})
+            j.append({"task": "b", "status": "ok"})
+            j.append({"task": "a", "status": "ok", "v": 2})
+        loaded = read_results(path)
+        assert loaded.task_ids == ["a", "b"]  # first position kept
+        assert loaded.records[0] == {"task": "a", "status": "ok", "v": 2}
+        assert loaded.duplicates == {"a": 1}
+        assert loaded.duplicate_count == 1
+
+    def test_records_without_task_ids_are_kept_verbatim(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with Journal(path) as j:
+            j.append({"note": "x"})
+            j.append({"note": "x"})
+        assert len(read_results(path).records) == 2
+
+
+class TestSingleWriterLock:
+    def test_second_live_writer_is_refused(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with Journal(path):
+            with pytest.raises(JournalError, match="another live writer"):
+                Journal(path)
+        # lock dies with the holder: reopening afterwards is fine
+        with Journal(path) as j:
+            j.append({"task": "a"})
+
+    def test_lock_is_released_on_sigkill(self, tmp_path):
+        """The kernel drops the flock when the holder dies — even by
+        SIGKILL — so a crashed writer never wedges the run dir."""
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        holder = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(f"""
+                import sys, time
+                sys.path.insert(0, {src!r})
+                from repro.runner.journal import Journal
+                j = Journal({str(tmp_path / "results.jsonl")!r})
+                print("held", flush=True)
+                time.sleep(60)
+            """)],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            assert holder.stdout.readline().strip() == "held"
+            with pytest.raises(JournalError):
+                Journal(tmp_path / "results.jsonl")
+        finally:
+            holder.kill()
+            holder.wait()
+        with Journal(tmp_path / "results.jsonl") as j:
+            j.append({"task": "a"})
+        assert read_results(tmp_path / "results.jsonl").task_ids == ["a"]
+
+    def test_exclusive_false_skips_the_lock(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with Journal(path):
+            reader_side = Journal(path, exclusive=False)
+            reader_side.close()
+
+
 class TestManifest:
     def test_round_trip(self, tmp_path):
         write_manifest(tmp_path, {"status": "running", "tasks": []})
@@ -118,6 +190,84 @@ class TestManifest:
         assert read_manifest(tmp_path)["status"] == "complete"
         assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
 
+    def test_concurrent_writers_race_cleanly(self, tmp_path):
+        """Cooperating claimants race to publish the final manifest; a
+        shared tmp name would let one writer's ``os.replace`` consume
+        the other's tmp file (FileNotFoundError)."""
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        code = textwrap.dedent(f"""
+            import sys
+            sys.path.insert(0, {src!r})
+            from repro.runner.journal import write_manifest
+            for i in range(80):
+                write_manifest(sys.argv[1], {{"status": "complete",
+                                              "i": i}})
+        """)
+        procs = [subprocess.Popen([sys.executable, "-c", code,
+                                   str(tmp_path)],
+                                  stderr=subprocess.PIPE, text=True)
+                 for _ in range(2)]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        assert read_manifest(tmp_path)["status"] == "complete"
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
     def test_missing_manifest_is_explicit(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="manifest.json"):
             read_manifest(tmp_path)
+
+    def test_torn_manifest_raises_journal_error_with_path(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"status": "runn')
+        with pytest.raises(JournalError) as exc_info:
+            read_manifest(tmp_path)
+        assert "manifest.json" in str(exc_info.value)
+        # the taxonomy maps run-dir state problems to the usage/env
+        # exit-code bucket (README's table: code 2)
+        assert exit_code_for(exc_info.value) == 2
+
+    def test_non_object_manifest_raises_journal_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('["not", "an", "object"]')
+        with pytest.raises(JournalError, match="expected an object"):
+            read_manifest(tmp_path)
+
+    def test_resume_wraps_malformed_task_list(self, tmp_path):
+        """BatchRunner.resume on a structurally damaged manifest must
+        raise the taxonomy error, not a raw KeyError."""
+        from repro.runner import BatchRunner
+
+        write_manifest(tmp_path, {"status": "complete", "config": {}})
+        with pytest.raises(JournalError, match="task list"):
+            BatchRunner.resume(tmp_path)
+        write_manifest(tmp_path, {"status": "complete",
+                                  "config": "not-a-dict", "tasks": []})
+        with pytest.raises(JournalError, match="config"):
+            BatchRunner.resume(tmp_path)
+        write_manifest(tmp_path, {"status": "complete", "config": {},
+                                  "tasks": [{"no_machine_key": 1}]})
+        with pytest.raises(JournalError, match="task list"):
+            BatchRunner.resume(tmp_path)
+
+    def test_cli_reports_corrupt_manifest_as_exit_2(self, tmp_path):
+        """The distinct CLI path: one-line diagnostic, exit code 2,
+        no traceback."""
+        import os
+        from pathlib import Path
+
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text('{"status": "runn')
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                                   if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "batch", "--resume",
+             str(run_dir)],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 2
+        assert "JournalError" in proc.stderr
+        assert "manifest.json" in proc.stderr
+        assert "Traceback" not in proc.stderr

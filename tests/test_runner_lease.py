@@ -1,0 +1,223 @@
+"""The lease table and the fencing merge: claims, steals, heartbeats.
+
+Everything here is deterministic and in-process: staleness is driven
+through the ``now`` parameter instead of sleeping, and the zombie
+scenario journals through two :class:`LeaseDir`/:class:`Journal` pairs
+directly — no subprocesses.  The end-to-end chaos version (real
+claimant processes, SIGKILL/SIGSTOP) lives in ``test_runner_chaos.py``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import JournalError
+from repro.runner import (
+    Journal,
+    LeaseDir,
+    lease_stats,
+    merge_results,
+    shard_name,
+)
+from repro.runner.lease import task_key
+
+
+class TestTaskKey:
+    def test_filesystem_safe_and_collision_free(self):
+        a, b = task_key("ihybrid:a/b"), task_key("ihybrid:a:b")
+        assert "/" not in a and ":" not in a
+        # sanitization maps both to the same stem; the hash keeps them
+        # distinct claim files
+        assert a != b
+
+    def test_stable(self):
+        assert task_key("x") == task_key("x")
+
+
+class TestLeaseDir:
+    def test_fresh_claim_is_epoch_zero(self, tmp_path):
+        ld = LeaseDir(tmp_path, "alice", ttl=10.0)
+        lease = ld.acquire("t1")
+        assert lease is not None and lease.epoch == 0
+        assert lease.claimant == "alice"
+        assert ld.path_for("t1").exists()
+        assert ld.claims == 1 and ld.steals == 0
+
+    def test_live_claim_blocks_other_claimants(self, tmp_path):
+        LeaseDir(tmp_path, "alice", ttl=10.0).acquire("t1")
+        bob = LeaseDir(tmp_path, "bob", ttl=10.0)
+        assert bob.acquire("t1") is None
+        assert bob.claims == 0
+
+    def test_own_live_claim_renews_at_same_epoch(self, tmp_path):
+        ld = LeaseDir(tmp_path, "alice", ttl=10.0)
+        first = ld.acquire("t1")
+        again = ld.acquire("t1")
+        assert again is not None and again.epoch == first.epoch == 0
+        assert ld.steals == 0
+
+    def test_expired_claim_is_stolen_at_epoch_plus_one(self, tmp_path):
+        alice = LeaseDir(tmp_path, "alice", ttl=5.0)
+        alice.acquire("t1")
+        bob = LeaseDir(tmp_path, "bob", ttl=5.0)
+        stolen = bob.acquire("t1", now=time.time() + 100)
+        assert stolen is not None
+        assert stolen.epoch == 1 and stolen.claimant == "bob"
+        assert bob.steals == 1
+
+    def test_heartbeat_renews_and_refuses_after_steal(self, tmp_path):
+        alice = LeaseDir(tmp_path, "alice", ttl=5.0)
+        lease = alice.acquire("t1")
+        renewed = alice.heartbeat(lease)
+        assert renewed is not None and renewed.epoch == 0
+        assert renewed.expires_at >= lease.expires_at
+        # bob steals while alice is "paused"
+        bob = LeaseDir(tmp_path, "bob", ttl=5.0)
+        assert bob.acquire("t1", now=time.time() + 100) is not None
+        # the woken zombie must not clobber bob's claim
+        assert alice.heartbeat(renewed) is None
+        assert alice.lost == 1
+        current = alice.read("t1")
+        assert current.claimant == "bob" and current.epoch == 1
+
+    def test_release_makes_the_task_stealable(self, tmp_path):
+        alice = LeaseDir(tmp_path, "alice", ttl=1000.0)
+        lease = alice.acquire("t1")
+        alice.release(lease)
+        bob = LeaseDir(tmp_path, "bob", ttl=1000.0)
+        stolen = bob.acquire("t1")
+        assert stolen is not None and stolen.epoch == 1
+
+    def test_release_does_not_touch_a_stolen_claim(self, tmp_path):
+        alice = LeaseDir(tmp_path, "alice", ttl=5.0)
+        lease = alice.acquire("t1")
+        bob = LeaseDir(tmp_path, "bob", ttl=5.0)
+        bob.acquire("t1", now=time.time() + 100)
+        alice.release(lease)  # stale handle: must be a no-op
+        current = bob.read("t1")
+        assert current.claimant == "bob" and not current.expired()
+
+    def test_undecodable_claim_is_stealable_by_mtime(self, tmp_path):
+        ld = LeaseDir(tmp_path, "alice", ttl=5.0)
+        path = ld.path_for("t1")
+        path.write_text("{ not json")
+        # too young: treated as an anonymous live claim
+        assert ld.acquire("t1") is None
+        old = time.time() - 60
+        os.utime(path, (old, old))
+        lease = ld.acquire("t1")
+        assert lease is not None and lease.epoch == 1
+
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="ttl"):
+            LeaseDir(tmp_path, "alice", ttl=0.0)
+
+    def test_lease_stats_counts_steals(self, tmp_path):
+        alice = LeaseDir(tmp_path, "alice", ttl=5.0)
+        alice.acquire("t1")
+        alice.acquire("t2")
+        bob = LeaseDir(tmp_path, "bob", ttl=5.0)
+        bob.acquire("t1", now=time.time() + 100)
+        stats = lease_stats(tmp_path)
+        assert stats["leases"] == 2
+        assert stats["total_epoch"] == 1  # exactly one published steal
+        assert set(stats["claimants"]) == {"alice", "bob"}
+
+
+def _shard_entry(task, claimant, epoch, payload):
+    return {"task": task, "status": "ok", "claimant": claimant,
+            "epoch": epoch, "record": payload}
+
+
+class TestMerge:
+    def test_highest_epoch_wins_and_loser_is_named(self, tmp_path):
+        """The zombie scenario, deterministically: alice claims, stalls
+        past her TTL, bob steals and journals at epoch 1, then the woken
+        alice journals her stale-epoch result anyway."""
+        alice = LeaseDir(tmp_path, "alice", ttl=5.0)
+        lease = alice.acquire("t1")
+        bob = LeaseDir(tmp_path, "bob", ttl=5.0)
+        assert bob.acquire("t1", now=time.time() + 100).epoch == 1
+        with Journal(tmp_path / shard_name("bob")) as j:
+            j.append(_shard_entry("t1", "bob", 1, {"area": 10}))
+        assert alice.heartbeat(lease) is None  # zombie notices too late
+        with Journal(tmp_path / shard_name("alice")) as j:
+            j.append(_shard_entry("t1", "alice", 0, {"area": 99}))
+        merged = merge_results(tmp_path)
+        assert merged.task_ids == ["t1"]
+        assert merged.records[0]["claimant"] == "bob"
+        assert merged.records[0]["record"] == {"area": 10}
+        assert len(merged.rejected) == 1
+        rej = merged.rejected[0]
+        assert rej["task"] == "t1" and rej["claimant"] == "alice"
+        assert rej["shard"] == shard_name("alice")
+        assert "stale epoch 0 < 1" in rej["reason"]
+
+    def test_epoch_ties_break_by_claimant_id(self, tmp_path):
+        """Two racing stealers at the same epoch are allowed; the merge
+        must still be deterministic."""
+        for claimant in ("alice", "bob"):
+            with Journal(tmp_path / shard_name(claimant)) as j:
+                j.append(_shard_entry("t1", claimant, 1, {"by": claimant}))
+        merged = merge_results(tmp_path)
+        assert merged.records[0]["claimant"] == "bob"  # lexicographic max
+        assert merged.rejected[0]["claimant"] == "alice"
+        assert "tie at epoch 1" in merged.rejected[0]["reason"]
+
+    def test_serial_records_sort_as_epoch_zero(self, tmp_path):
+        with Journal(tmp_path / "results.jsonl") as j:
+            j.append({"task": "t1", "status": "ok", "record": {"v": "old"}})
+        with Journal(tmp_path / shard_name("bob")) as j:
+            j.append(_shard_entry("t1", "bob", 1, {"v": "stolen"}))
+        merged = merge_results(tmp_path)
+        assert merged.records[0]["record"] == {"v": "stolen"}
+
+    def test_torn_tails_in_two_of_three_shards(self, tmp_path):
+        """Simultaneous mid-append SIGKILLs in two shards: the merge
+        keeps every complete record and reports both torn tails."""
+        for claimant, tasks in (("a", ["t1"]), ("b", ["t2"]),
+                                ("c", ["t3"])):
+            with Journal(tmp_path / shard_name(claimant)) as j:
+                for t in tasks:
+                    j.append(_shard_entry(t, claimant, 0, {}))
+        for claimant in ("a", "c"):
+            with open(tmp_path / shard_name(claimant), "a") as fh:
+                fh.write('{"task": "torn-' + claimant + '", "sta')
+        merged = merge_results(tmp_path)
+        assert merged.task_ids == ["t1", "t2", "t3"]
+        assert set(merged.torn_tails) == {shard_name("a"), shard_name("c")}
+        assert merged.rejected == []
+
+    def test_merged_order_is_independent_of_shard_layout(self, tmp_path):
+        """The same record set split differently across shards must
+        produce the identical merged view."""
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        entries = [_shard_entry(f"t{i}", "x", 0, {"i": i}) for i in range(6)]
+        for d, split in ((a_dir, 2), (b_dir, 4)):
+            d.mkdir()
+            with Journal(d / shard_name("p")) as j:
+                for e in entries[:split]:
+                    j.append(e)
+            with Journal(d / shard_name("q")) as j:
+                for e in entries[split:]:
+                    j.append(e)
+        va, vb = merge_results(a_dir), merge_results(b_dir)
+        assert va.records == vb.records
+
+    def test_mid_file_corruption_raises_journal_error(self, tmp_path):
+        shard = tmp_path / shard_name("a")
+        shard.write_text('{"task": "t1", "status": "ok"}\n'
+                         'garbage line\n'
+                         '{"task": "t2", "status": "ok"}\n')
+        with pytest.raises(JournalError, match="line 2"):
+            merge_results(tmp_path)
+
+    def test_record_for_lookup(self, tmp_path):
+        with Journal(tmp_path / shard_name("a")) as j:
+            j.append(_shard_entry("t1", "a", 0, {"v": 1}))
+        merged = merge_results(tmp_path)
+        assert merged.record_for("t1")["record"] == {"v": 1}
+        assert merged.record_for("missing") is None
+        assert json.dumps(merged.rejected) == "[]"
