@@ -32,6 +32,7 @@ import textwrap
 import time
 from typing import Dict, List, Optional
 
+from repro.bench.record import capture_environment
 from repro.fsm.benchmarks import benchmark_names
 from repro.runner import lease_stats, merge_results, read_results
 
@@ -190,6 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "pace_sleep_s": PACE_SLEEP,
             "lease_ttl_s": LEASE_TTL,
             "python": sys.version.split()[0],
+            "environment": capture_environment(),
             "scaling": bench_scaling(driver, machines, root),
             "reclaim": bench_reclaim(driver, machines, root),
         }

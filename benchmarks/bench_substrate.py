@@ -16,12 +16,12 @@ the design choices that make the pure-Python reproduction feasible:
 """
 
 import math
-import time
 from typing import Callable, Dict, List, Tuple
 
 import pytest
 
 from repro import perf
+from repro.bench.timing import best_of
 from repro.constraints.input_constraints import extract_input_constraints
 from repro.encoding.iexact import semiexact_code
 from repro.encoding.nova import encode_fsm
@@ -51,13 +51,9 @@ _kernel_ratios: List[float] = []
 
 
 def _best_of(fn: Callable[[], object], repeats: int = KERNEL_REPEATS) -> float:
-    fn()  # warm-up (also builds packing tables / lazy complements)
-    best = math.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    # shared timing protocol (repro.bench.timing): one warm-up run
+    # (also builds packing tables / lazy complements), then best-of-N
+    return best_of(fn, repeats, warmup=1)
 
 
 def _reference_ops(sc) -> Dict[str, Tuple[Callable, Callable]]:

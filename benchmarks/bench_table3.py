@@ -5,6 +5,11 @@ averages ~20% less area than KISS and ~30% less than the best of a set
 of random assignments.  We assert the directions (NOVA <= KISS and
 NOVA <= best-random in total) — exact percentages depend on the
 machines, which are synthetic stand-ins here (DESIGN.md §5.2).
+
+Wall-clock timing of this table lives in the observatory now: the
+``table3`` suite (``benchmarks/specs/table3.json``, run by
+``nova bench run``) times the same rows under the shared
+variance-controlled protocol; this harness asserts the *semantics*.
 """
 
 import pytest

@@ -5,6 +5,11 @@ input constraints at the minimum code length, the code length at which
 ihybrid satisfies everything (clength), and the run time.  Times are
 host wall-clock, not VAX 11/8650 CPU seconds — the cross-machine
 ordering is the reproducible signal (DESIGN.md §5.5).
+
+Wall-clock timing of this table lives in the observatory now: the
+``table6`` suite (``benchmarks/specs/table6.json``, run by
+``nova bench run``) times the same rows under the shared
+variance-controlled protocol; this harness asserts the *semantics*.
 """
 
 import pytest

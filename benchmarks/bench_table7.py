@@ -5,6 +5,11 @@ code length; NOVA contributes its best two-level result; literal counts
 come from the quick-factoring estimator standing in for the MIS-II
 standard script (DESIGN.md §5.4).  Paper's totals: MUSTANG cubes 124%
 of NOVA's, MUSTANG literals 108%, random literals 130%.
+
+Wall-clock timing of this table lives in the observatory now: the
+``table7`` suite (``benchmarks/specs/table7.json``, run by
+``nova bench run``) times the same rows under the shared
+variance-controlled protocol; this harness asserts the *semantics*.
 """
 
 import pytest

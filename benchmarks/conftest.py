@@ -21,7 +21,6 @@ pytest-benchmark timings still measure the row computation itself.
 from __future__ import annotations
 
 from collections import defaultdict
-import os
 from pathlib import Path
 import shutil
 from typing import Callable, Dict, List, Sequence
@@ -29,12 +28,12 @@ from typing import Callable, Dict, List, Sequence
 import pytest
 
 from repro import perf
+from repro.bench import discover
 from repro.eval.tables import format_table
-from repro.fsm.benchmarks import benchmark_names
 
-SUBSET = os.environ.get("NOVA_BENCH_SET", "small")
-JOBS = int(os.environ.get("NOVA_BENCH_JOBS", "1"))
-TASK_TIMEOUT = float(os.environ.get("NOVA_BENCH_TASK_TIMEOUT", "900"))
+SUBSET = discover.bench_subset()
+JOBS = discover.bench_jobs()
+TASK_TIMEOUT = discover.task_timeout()
 RESULTS_DIR = Path(__file__).parent / "results"
 
 # substrate counters appended to every recorded row (compact names keep
@@ -53,13 +52,8 @@ _notes: Dict[str, List[str]] = defaultdict(list)
 
 
 def subset_names(table: str = "paper30") -> List[str]:
-    """Machines to run: the quick subset intersected with the table's set."""
-    table_set = benchmark_names(table)
-    if SUBSET == table:
-        return table_set
-    chosen = benchmark_names(SUBSET) if SUBSET != "paper30" else table_set
-    names = [n for n in table_set if n in set(chosen)]
-    return names or table_set[:3]
+    """Machines to run (delegates to :mod:`repro.bench.discover`)."""
+    return discover.subset_names(table, subset=SUBSET)
 
 
 _batch_rows: Dict[int, Dict[str, dict]] = {}

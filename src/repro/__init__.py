@@ -18,6 +18,7 @@ Public API highlights:
 
 from repro._version import __version__
 from repro.cache import cache_clear, cache_info, cache_prune
+from repro.config import RuntimeConfig, config_scope, get_config
 from repro.encoding.nova import ALGORITHMS, NovaResult, RunReport, encode_fsm
 from repro.encoding.options import EncodeOptions
 from repro.errors import (
@@ -41,6 +42,9 @@ __all__ = [
     "cache_info",
     "cache_clear",
     "cache_prune",
+    "RuntimeConfig",
+    "get_config",
+    "config_scope",
     "ReproError",
     "ParseError",
     "ConstraintError",

@@ -17,7 +17,9 @@ may move without notice; these names will not.
 from __future__ import annotations
 
 from repro._version import __version__
+from repro.bench import BenchRecord, SweepSpec, load_spec, run_sweep
 from repro.cache import cache_clear, cache_info, cache_prune
+from repro.config import RuntimeConfig, config_scope, get_config
 from repro.encoding.nova import (
     ALGORITHMS,
     FALLBACK_CHAIN,
@@ -52,10 +54,19 @@ __all__ = [
     "CACHE_POLICIES",
     "EFFORTS",
     "FALLBACK_CHAIN",
+    # runtime configuration
+    "RuntimeConfig",
+    "get_config",
+    "config_scope",
     # cache controls
     "cache_info",
     "cache_clear",
     "cache_prune",
+    # benchmark observatory
+    "SweepSpec",
+    "load_spec",
+    "run_sweep",
+    "BenchRecord",
     # machines
     "FSM",
     "Transition",

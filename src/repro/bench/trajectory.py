@@ -1,0 +1,365 @@
+"""The performance trajectory: append-only record store and regression gate.
+
+``BENCH_TRAJECTORY.json`` is the repository's timing memory: one
+:class:`~repro.bench.record.BenchRecord` appended per named suite per
+PR, never rewritten.  The comparator aligns the latest record of a
+suite against the most recent earlier record sharing at least one unit
+(records from other environments or pre-rename suites simply don't
+align) and reports per-unit speedups plus their geometric mean — the
+geomean, not the arithmetic mean, because speedups are ratios and a 2×
+win on one unit should exactly cancel a 2× loss on another.
+
+The gate turns that comparison into an exit code: a geomean below
+``1 − max_regress/100`` on any gated suite fails CI.  Suites with no
+comparable baseline *pass* by default (a brand-new suite cannot be a
+regression) unless ``require_baseline`` is set, which is how CI
+distinguishes "first record ever" from "someone deleted the history".
+
+Legacy one-off reports (``BENCH_PR6/7/8.json``) fold in through
+:func:`import_legacy` as ``schema: 0`` records under ``legacy-*``
+suite names: their numbers were measured under older protocols (no MAD
+rejection, some without std at all), so they are kept for the history
+but can never falsely align against a live gated suite.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.record import SCHEMA_VERSION, BenchRecord
+from repro.bench.timing import SampleStats
+
+__all__ = [
+    "DEFAULT_GATE_SUITES",
+    "DEFAULT_PATH",
+    "TRAJECTORY_SCHEMA",
+    "GateResult",
+    "SuiteComparison",
+    "append_record",
+    "compare_suite",
+    "gate",
+    "import_legacy",
+    "load_trajectory",
+    "save_trajectory",
+]
+
+TRAJECTORY_SCHEMA = 1
+DEFAULT_PATH = "BENCH_TRAJECTORY.json"
+
+#: Suites whose regression fails CI (the substrate and table suites).
+DEFAULT_GATE_SUITES = ("substrate", "table3", "table6", "table7")
+
+#: The pre-observatory reports import_legacy knows how to fold in.
+LEGACY_FILES = ("BENCH_PR6.json", "BENCH_PR7.json", "BENCH_PR8.json")
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+def load_trajectory(path: Union[str, Path]) -> List[BenchRecord]:
+    """Every record in the trajectory file (empty when absent)."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "records" not in data:
+        raise ValueError(
+            f"{p}: not a trajectory file (expected an object with a "
+            f"'records' list)")
+    schema = int(data.get("schema", 0))
+    if schema > TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{p}: trajectory schema {schema} is newer than this "
+            f"reader ({TRAJECTORY_SCHEMA}); upgrade before reading")
+    return [BenchRecord.from_dict(d) for d in data["records"]]
+
+
+def save_trajectory(path: Union[str, Path],
+                    records: Sequence[BenchRecord]) -> None:
+    """Atomically publish the full record list (tmp + fsync + replace)."""
+    p = Path(path)
+    payload = {
+        "schema": TRAJECTORY_SCHEMA,
+        "records": [r.to_dict() for r in records],
+    }
+    data = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    tmp = p.with_name(f"{p.name}.{os.getpid()}.tmp")
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, p)
+
+
+def append_record(path: Union[str, Path],
+                  record: BenchRecord) -> List[BenchRecord]:
+    """Append one record and return the new full history."""
+    records = load_trajectory(path)
+    records.append(record)
+    save_trajectory(path, records)
+    return records
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SuiteComparison:
+    """Latest-vs-baseline alignment of one suite."""
+
+    suite: str
+    status: str  # "ok" | "no-record" | "no-baseline"
+    geomean_speedup: Optional[float] = None
+    unit_speedups: Dict[str, float] = field(default_factory=dict)
+    current_label: str = ""
+    baseline_label: str = ""
+    units_compared: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "suite": self.suite,
+            "status": self.status,
+            "geomean_speedup": self.geomean_speedup,
+            "units_compared": self.units_compared,
+            "unit_speedups": {k: round(v, 4) for k, v in
+                              sorted(self.unit_speedups.items())},
+            "current_label": self.current_label,
+            "baseline_label": self.baseline_label,
+        }
+
+
+def _geomean(values: Sequence[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare_suite(records: Sequence[BenchRecord],
+                  suite: str) -> SuiteComparison:
+    """Latest record of *suite* vs the newest earlier comparable one.
+
+    Comparable means: same suite name, schema >= 1 (legacy imports are
+    history, not baselines), and at least one unit key in common with
+    positive means on both sides.
+    """
+    history = [r for r in records if r.suite == suite and r.schema >= 1]
+    if not history:
+        return SuiteComparison(suite=suite, status="no-record")
+    current = history[-1]
+    for baseline in reversed(history[:-1]):
+        speedups = {}
+        for key, cur in current.units.items():
+            base = baseline.units.get(key)
+            if base is None or base.mean <= 0 or cur.mean <= 0:
+                continue
+            speedups[key] = base.mean / cur.mean
+        if speedups:
+            return SuiteComparison(
+                suite=suite,
+                status="ok",
+                geomean_speedup=_geomean(list(speedups.values())),
+                unit_speedups=speedups,
+                current_label=current.label,
+                baseline_label=baseline.label,
+                units_compared=len(speedups),
+            )
+    return SuiteComparison(suite=suite, status="no-baseline",
+                           current_label=current.label)
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Aggregate gate verdict over the gated suites."""
+
+    max_regress_pct: float
+    comparisons: Tuple[SuiteComparison, ...]
+    regressions: Tuple[str, ...]
+    missing: Tuple[str, ...]   # gated suites with no comparable baseline
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "max_regress_pct": self.max_regress_pct,
+            "regressions": list(self.regressions),
+            "missing_baselines": list(self.missing),
+            "suites": [c.to_dict() for c in self.comparisons],
+        }
+
+
+def gate(records: Sequence[BenchRecord],
+         max_regress_pct: float,
+         suites: Sequence[str] = DEFAULT_GATE_SUITES) -> GateResult:
+    """Check every gated suite's latest record against its baseline.
+
+    A suite regresses when its geomean speedup drops below
+    ``1 − max_regress_pct/100``.  Suites without a comparable baseline
+    are reported in ``missing`` and left to the caller's policy
+    (``nova bench gate --require-baseline`` turns them into a distinct
+    non-zero exit).
+    """
+    if max_regress_pct < 0:
+        raise ValueError(
+            f"max_regress_pct must be >= 0, got {max_regress_pct}")
+    floor = 1.0 - max_regress_pct / 100.0
+    comparisons = []
+    regressions = []
+    missing = []
+    for suite in suites:
+        comp = compare_suite(records, suite)
+        comparisons.append(comp)
+        if comp.status != "ok":
+            missing.append(suite)
+        elif comp.geomean_speedup is not None \
+                and comp.geomean_speedup < floor:
+            regressions.append(suite)
+    return GateResult(
+        max_regress_pct=max_regress_pct,
+        comparisons=tuple(comparisons),
+        regressions=tuple(regressions),
+        missing=tuple(missing),
+    )
+
+
+# ----------------------------------------------------------------------
+# legacy import
+# ----------------------------------------------------------------------
+def _legacy_stats(d: Dict, samples_default: int = 1) -> SampleStats:
+    """A schema-0 SampleStats from a legacy ``{mean,std,samples}`` blob.
+
+    min/median were not recorded by the old protocols; they are
+    reconstructed as the mean, which keeps the dataclass total without
+    inventing precision — comparisons only ever read ``mean``.
+    """
+    mean = float(d["mean"])
+    return SampleStats(
+        mean=mean,
+        std=float(d.get("std", 0.0)),
+        min=mean,
+        median=mean,
+        samples=int(d.get("samples", samples_default)),
+    )
+
+
+def _import_pr6(data: Dict, source: str) -> List[BenchRecord]:
+    kernel_units = {}
+    for machine, info in data.get("cover_kernels", {}).items():
+        for op, blob in info.get("ops", {}).items():
+            for variant in ("before_s", "after_s"):
+                if variant in blob:
+                    key = f"{machine}/{op}/{variant[:-2]}"
+                    kernel_units[key] = _legacy_stats(blob[variant])
+    table_units = {}
+    for table, variants in data.get("tables_wall_clock_s", {}).items():
+        for variant, blob in variants.items():
+            table_units[f"{table}/{variant}"] = _legacy_stats(blob)
+    out = []
+    if kernel_units:
+        out.append(BenchRecord(
+            suite="legacy-pr6-cover-kernels", units=kernel_units,
+            schema=0, label="PR6",
+            notes={"source": source, "reconstructed": True,
+                   "protocol": data.get("protocol", {}).get("kernel_suite",
+                                                            "")}))
+    if table_units:
+        out.append(BenchRecord(
+            suite="legacy-pr6-tables", units=table_units,
+            schema=0, label="PR6",
+            notes={"source": source, "reconstructed": True,
+                   "protocol": data.get("protocol", {}).get("tables", "")}))
+    return out
+
+
+def _import_pr7(data: Dict, source: str) -> List[BenchRecord]:
+    units = {}
+    for phase in ("cold", "warm", "uncoalesced", "coalesced", "overload"):
+        blob = data.get(phase)
+        if not isinstance(blob, dict):
+            continue
+        if phase == "overload":
+            # overload recorded only its reject latency distribution
+            blob = blob.get("reject_latency_ms")
+            if not isinstance(blob, dict):
+                continue
+        elif phase == "uncoalesced" and "wall_ms" in blob:
+            # one wall-clock figure for the whole 8-client burst
+            blob = {"mean_ms": blob["wall_ms"],
+                    "clients": blob.get("clients", 1)}
+        if "mean_ms" not in blob:
+            continue
+        mean = float(blob["mean_ms"]) / 1e3
+        units[phase] = SampleStats(
+            mean=mean,
+            std=0.0,  # the PR7 report recorded p50/max, never a std
+            min=mean,
+            median=float(blob.get("p50_ms", blob["mean_ms"])) / 1e3,
+            samples=int(blob.get("n", blob.get("clients", 1))),
+        )
+    if not units:
+        return []
+    return [BenchRecord(
+        suite="legacy-pr7-encode-service", units=units, schema=0,
+        label="PR7",
+        notes={"source": source, "reconstructed": True,
+               "python": data.get("python", "")})]
+
+
+def _import_pr8(data: Dict, source: str) -> List[BenchRecord]:
+    units = {}
+    for row in data.get("scaling", []):
+        if "claimants" in row and "wall_s" in row:
+            mean = float(row["wall_s"])
+            units[f"claimants{row['claimants']}"] = SampleStats(
+                mean=mean, std=0.0, min=mean, median=mean, samples=1)
+    reclaim = data.get("reclaim")
+    if isinstance(reclaim, dict) and "wall_s" in reclaim:
+        mean = float(reclaim["wall_s"])
+        units["reclaim"] = SampleStats(
+            mean=mean, std=0.0, min=mean, median=mean, samples=1)
+    if not units:
+        return []
+    return [BenchRecord(
+        suite="legacy-pr8-steal", units=units, schema=0, label="PR8",
+        notes={"source": source, "reconstructed": True,
+               "machines": list(data.get("machines", []))})]
+
+
+def import_legacy(root: Union[str, Path],
+                  trajectory: Union[str, Path, None] = None,
+                  ) -> List[BenchRecord]:
+    """Fold every legacy ``BENCH_PR*.json`` under *root* into records.
+
+    Returns the imported records; when *trajectory* is given they are
+    appended to it — skipping any whose (suite, label) already exists,
+    so the one-shot import is idempotent.
+    """
+    imported: List[BenchRecord] = []
+    for name in LEGACY_FILES:
+        path = Path(root) / name
+        if not path.exists():
+            continue
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if name == "BENCH_PR6.json":
+            imported.extend(_import_pr6(data, name))
+        elif name == "BENCH_PR7.json":
+            imported.extend(_import_pr7(data, name))
+        else:
+            imported.extend(_import_pr8(data, name))
+    if trajectory is not None:
+        existing = load_trajectory(trajectory)
+        seen = {(r.suite, r.label) for r in existing}
+        fresh = [r for r in imported if (r.suite, r.label) not in seen]
+        if fresh:
+            save_trajectory(trajectory, existing + fresh)
+    return imported
+
+
+# keep the public schema constant importable from one obvious place
+RECORD_SCHEMA = SCHEMA_VERSION

@@ -19,11 +19,15 @@ Policy resolution
   set to ``0``/``off``/``false``/``no`` disables, ``memory`` keeps the
   LRU only, anything else (including unset) enables both tiers.
 
-Environment
------------
-``NOVA_CACHE``           policy for ``auto`` (see above)
-``NOVA_CACHE_DIR``       disk-tier root (default ``~/.cache/nova``)
-``NOVA_CACHE_MAX_BYTES`` disk-tier prune budget (default 256 MiB)
+Configuration
+-------------
+Everything environmental routes through :mod:`repro.config` (the
+unified :class:`~repro.config.RuntimeConfig`): the ``cache`` policy
+consulted by ``auto``, the disk-tier root (default ``~/.cache/nova``)
+and the prune budget (default 256 MiB).  The legacy ``NOVA_CACHE`` /
+``NOVA_CACHE_DIR`` / ``NOVA_CACHE_MAX_BYTES`` variables keep working
+through the config module's deprecation shim; prefer a ``$NOVA_CONFIG``
+file or :func:`repro.config.config_scope`.
 
 The module-level :func:`cache_info` / :func:`cache_clear` /
 :func:`cache_prune` back both the ``nova cache`` CLI and the
@@ -32,9 +36,10 @@ The module-level :func:`cache_info` / :func:`cache_clear` /
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
+
+from repro import config as config_mod
 
 from repro.cache.codec import (
     PAYLOAD_VERSION,
@@ -78,78 +83,44 @@ __all__ = [
     "resolve_policy",
 ]
 
-_OFF_VALUES = ("0", "off", "false", "no")
-_ON_VALUES = ("1", "on", "true", "yes")
-
-
 def cache_dir() -> Path:
-    """The disk-tier root: ``$NOVA_CACHE_DIR`` or ``~/.cache/nova``."""
-    env = os.environ.get("NOVA_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path(os.path.expanduser("~")) / ".cache" / "nova"
+    """The disk-tier root from the runtime config (``~/.cache/nova``)."""
+    return config_mod.cache_dir()
 
 
 def _max_bytes() -> int:
-    raw = os.environ.get("NOVA_CACHE_MAX_BYTES")
-    if raw is None:
-        return DEFAULT_MAX_BYTES
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(
-            f"NOVA_CACHE_MAX_BYTES must be an integer byte count, "
-            f"got {raw!r}") from None
+    return config_mod.cache_max_bytes()
 
 
 def resolve_policy(policy: str = "auto") -> str:
-    """Collapse ``auto`` against the environment; returns on/off/memory.
+    """Collapse ``auto`` against the runtime config; returns on/off/memory.
 
-    An unrecognized ``NOVA_CACHE`` value raises ``ValueError`` instead
-    of silently resolving to the default: a user who exported
-    ``NOVA_CACHE=of`` (or ``disk``, or ``tru``) meant *something*, and
-    running with the wrong cache policy would quietly change costs —
-    or, for ``off``-intended values, quietly reuse stale results.
-    Long-lived entry points (``nova serve``) validate at startup via
+    Thin wrapper over :func:`repro.config.cache_policy` — the single
+    choke point where an unrecognized value (a typo'd ``NOVA_CACHE``, a
+    bad ``$NOVA_CONFIG`` key) raises ``ValueError`` instead of silently
+    resolving to the default: a user who exported ``NOVA_CACHE=of``
+    (or ``disk``, or ``tru``) meant *something*, and running with the
+    wrong cache policy would quietly change costs — or, for
+    ``off``-intended values, quietly reuse stale results.  Long-lived
+    entry points (``nova serve``) validate at startup via
     :func:`check_environment` so the error surfaces before the first
     request.
     """
     if policy != "auto":
         return policy
-    env = os.environ.get("NOVA_CACHE")
-    if env is None or not env.strip():
-        return "on"
-    value = env.strip().lower()
-    if value in _OFF_VALUES:
-        return "off"
-    if value == "memory":
-        return "memory"
-    if value in _ON_VALUES:
-        return "on"
-    raise ValueError(
-        f"unrecognized NOVA_CACHE value {env!r}: use "
-        f"on/off/memory (aliases: {'/'.join(_ON_VALUES)} for on, "
-        f"{'/'.join(_OFF_VALUES)} for off); refusing to guess a policy")
+    return config_mod.cache_policy()
 
 
 def check_environment() -> str:
-    """Validate the cache environment eagerly; returns the policy.
+    """Validate the whole runtime configuration eagerly; returns the policy.
 
-    ``resolve_policy`` already rejects garbage, but only when the first
-    lookup happens; services call this at startup so a typo'd
+    Thin wrapper over :func:`repro.config.get_config`, which parses
+    every field of every layer (environment, ``$NOVA_CONFIG`` file,
+    active scopes); services call this at startup so a typo'd
     ``NOVA_CACHE`` (or a non-integer ``NOVA_CACHE_MAX_BYTES``) fails
     the boot, not the hundredth request.
     """
-    policy = resolve_policy("auto")
-    raw = os.environ.get("NOVA_CACHE_MAX_BYTES")
-    if raw is not None:
-        try:
-            int(raw)
-        except ValueError:
-            raise ValueError(
-                f"NOVA_CACHE_MAX_BYTES must be an integer byte count, "
-                f"got {raw!r}") from None
-    return policy
+    return config_mod.get_config().cache
 
 
 # One live cache per (policy, root) so every encode_fsm call in a

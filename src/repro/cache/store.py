@@ -38,8 +38,8 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro import perf
+from repro.config import DEFAULT_CACHE_MAX_BYTES as DEFAULT_MAX_BYTES
 
-DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 DEFAULT_MEMORY_ENTRIES = 128
 PRUNE_EVERY = 64
 BLOB_SUFFIX = ".json"

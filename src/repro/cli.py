@@ -93,8 +93,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
             print(f"error: no table {n}", file=sys.stderr)
             return 2
         if n == 5:
-            names = [x for x in benchmark_names("table5")
-                     if args.subset != "small" or x in benchmark_names("small")]
+            # table 5 has its own machine set; slice it by the chosen
+            # subset the same way the pytest harness does
+            from repro.bench.discover import subset_names
+
+            names = subset_names("table5", subset=args.subset)
         rows = []
         for name in names:
             try:
@@ -260,6 +263,127 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"journal    : {runner.run_dir / 'results.jsonl'}")
         print(f"resume with: nova batch --resume {runner.run_dir}")
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """The benchmark observatory (see README §Benchmarking).
+
+    Exit codes: 0 ok, 1 gate regression, 2 usage/validation error,
+    3 gated suite without a baseline under ``--require-baseline``.
+    """
+    import json
+    import time as _time
+    from pathlib import Path
+
+    from repro import bench
+
+    trajectory = Path(args.trajectory)
+
+    if args.action == "run":
+        if not args.spec:
+            print("error: usage: nova bench run SPEC.json|SPEC.toml",
+                  file=sys.stderr)
+            return 2
+        spec = bench.load_spec(args.spec)
+        stamp = _time.time()
+        run_dir = args.out or (
+            f"bench-runs/{spec.name}-"
+            f"{_time.strftime('%Y%m%d-%H%M%S')}")
+
+        def progress(line: str) -> None:
+            print(f"  {line}", file=sys.stderr)
+
+        record = bench.run_sweep(
+            spec, run_dir,
+            jobs=args.jobs,
+            timestamp=stamp,
+            label=args.label,
+            limit=args.limit,
+            repeats=args.repeats,
+            progress=progress,
+        )
+        if args.no_append:
+            records = bench.load_trajectory(trajectory) + [record]
+        else:
+            records = bench.append_record(trajectory, record)
+        if args.json:
+            print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"suite {record.suite} "
+                  f"({len(record.units)} units, journal: {run_dir}):")
+            for key, stats in sorted(record.units.items()):
+                print(f"  {key:32s} {stats.mean * 1e3:9.2f} ms "
+                      f"± {stats.std * 1e3:.2f} "
+                      f"(min {stats.min * 1e3:.2f}, n={stats.samples}"
+                      + (f", {stats.rejected} outliers" if stats.rejected
+                         else "") + ")")
+            comp = bench.compare_suite(records, record.suite)
+            if comp.status == "ok" and comp.geomean_speedup is not None:
+                print(f"  vs previous record: geomean speedup "
+                      f"{comp.geomean_speedup:.3f}x over "
+                      f"{comp.units_compared} unit(s)")
+            if not args.no_append:
+                print(f"  appended to {trajectory}")
+        return 0
+
+    if args.action == "compare":
+        records = bench.load_trajectory(trajectory)
+        suites = (args.suites.split(",") if args.suites
+                  else sorted({r.suite for r in records if r.schema >= 1}))
+        comps = [bench.compare_suite(records, s.strip())
+                 for s in suites if s.strip()]
+        if args.json:
+            print(json.dumps([c.to_dict() for c in comps], indent=2,
+                             sort_keys=True))
+        else:
+            if not comps:
+                print(f"no comparable suites in {trajectory}")
+            for c in comps:
+                if c.status == "ok" and c.geomean_speedup is not None:
+                    worst = min(c.unit_speedups.items(),
+                                key=lambda kv: kv[1])
+                    print(f"{c.suite:12s} geomean {c.geomean_speedup:.3f}x "
+                          f"over {c.units_compared} unit(s); worst "
+                          f"{worst[0]} {worst[1]:.3f}x")
+                else:
+                    print(f"{c.suite:12s} {c.status}")
+        return 0
+
+    if args.action == "gate":
+        records = bench.load_trajectory(trajectory)
+        suites = (tuple(s.strip() for s in args.suites.split(",")
+                        if s.strip())
+                  if args.suites else bench.DEFAULT_GATE_SUITES)
+        result = bench.gate(records, args.max_regress, suites=suites)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            for c in result.comparisons:
+                if c.status == "ok" and c.geomean_speedup is not None:
+                    verdict = ("REGRESSED" if c.suite in result.regressions
+                               else "ok")
+                    print(f"{c.suite:12s} geomean "
+                          f"{c.geomean_speedup:.3f}x  {verdict}")
+                else:
+                    print(f"{c.suite:12s} no baseline ({c.status})")
+            limit = 1.0 - args.max_regress / 100.0
+            print(f"gate: max regression {args.max_regress:.0f}% "
+                  f"(geomean floor {limit:.2f}x) -> "
+                  + ("FAIL" if result.regressions else "pass"))
+        if result.regressions:
+            return 1
+        if args.require_baseline and result.missing:
+            print(f"error: no comparable baseline for gated suite(s): "
+                  f"{', '.join(result.missing)}", file=sys.stderr)
+            return 3
+        return 0
+
+    # action == "import": fold legacy BENCH_PR*.json into the trajectory
+    imported = bench.import_legacy(args.root, trajectory)
+    total = len(bench.load_trajectory(trajectory))
+    print(f"imported {len(imported)} legacy record(s) from {args.root}; "
+          f"{trajectory} now holds {total} record(s)")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -531,6 +655,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     bat.add_argument("--out", metavar="RUN_DIR",
                      help="run directory (default batch-runs/<timestamp>)")
     bat.set_defaults(func=_cmd_batch)
+
+    bch = sub.add_parser(
+        "bench",
+        help="run benchmark sweeps and gate the performance trajectory",
+        description="The benchmark observatory: 'run' executes a "
+                    "declarative SweepSpec (JSON/TOML) through the batch "
+                    "runner with variance-controlled timing and appends "
+                    "one record to BENCH_TRAJECTORY.json; 'compare' "
+                    "reports per-suite speedup vs the previous record; "
+                    "'gate' fails (exit 1) when any gated suite's "
+                    "geomean speedup regresses more than --max-regress "
+                    "percent; 'import' folds legacy BENCH_PR*.json "
+                    "reports into the trajectory once. "
+                    "See README §Benchmarking.")
+    bch.add_argument("action",
+                     choices=("run", "compare", "gate", "import"))
+    bch.add_argument("spec", nargs="?",
+                     help="sweep spec file for 'run' "
+                          "(e.g. benchmarks/specs/substrate.json)")
+    bch.add_argument("--trajectory", default="BENCH_TRAJECTORY.json",
+                     metavar="PATH",
+                     help="trajectory store (default BENCH_TRAJECTORY.json)")
+    bch.add_argument("--repeats", type=int, default=None, metavar="N",
+                     help="override the spec's timed samples per unit")
+    bch.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="cap the machine list (CI quick slice)")
+    bch.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes (default: configured "
+                          "bench_jobs)")
+    bch.add_argument("--label", default="", metavar="STR",
+                     help="free-form provenance label for the record "
+                          "(PR number, git sha, ...)")
+    bch.add_argument("--out", metavar="RUN_DIR",
+                     help="journal directory for 'run' "
+                          "(default bench-runs/<suite>-<timestamp>)")
+    bch.add_argument("--no-append", action="store_true",
+                     help="run without writing to the trajectory")
+    bch.add_argument("--suites", metavar="NAMES", default=None,
+                     help="comma-separated suite list for compare/gate "
+                          "(default gate set: substrate,table3,table6,"
+                          "table7)")
+    bch.add_argument("--max-regress", type=float, default=10.0,
+                     metavar="PCT",
+                     help="gate threshold: fail when a suite's geomean "
+                          "speedup drops below 1 - PCT/100 (default 10)")
+    bch.add_argument("--require-baseline", action="store_true",
+                     help="gate: exit 3 when a gated suite has no "
+                          "comparable baseline instead of passing it")
+    bch.add_argument("--root", default=".", metavar="DIR",
+                     help="directory holding BENCH_PR*.json for 'import'")
+    bch.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    bch.set_defaults(func=_cmd_bench)
 
     cch = sub.add_parser(
         "cache",

@@ -27,18 +27,20 @@ test-suite enforces the contract with property tests
 under ``NOVA_SUBSTRATE=numpy`` is bit-for-bit the one the pure-python
 substrate produces.
 
-Selection happens once at import from the ``NOVA_SUBSTRATE``
-environment variable (``python`` | ``numpy``; default ``python``).
-Tests and benchmarks may switch at runtime with :func:`select` or the
+Selection happens once at import from the unified runtime config
+(:mod:`repro.config`): the ``substrate`` field — set in a
+``$NOVA_CONFIG`` file, or via the deprecated ``NOVA_SUBSTRATE``
+variable (``python`` | ``numpy``; default ``python``).  Tests and
+benchmarks may switch at runtime with :func:`select` or the
 :func:`use` context manager — the swap is atomic (one module global).
 """
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro import config as config_mod
 from repro import perf
 
 __all__ = [
@@ -826,11 +828,13 @@ def use(name: str) -> Iterator[None]:
         select(prev)
 
 
-# A set-but-unknown NOVA_SUBSTRATE is a hard import error (select()
-# raises) rather than a silent fall-through to the python backend: a
-# user who exported it expects the packed kernels, and discovering the
+# Selection routes through the unified runtime config (repro.config):
+# a set-but-unknown substrate — a typo'd NOVA_SUBSTRATE, a bad
+# $NOVA_CONFIG key — is a hard import error (the config parser raises)
+# rather than a silent fall-through to the python backend: a user who
+# requested a backend expects the packed kernels, and discovering the
 # typo from a 4x-slower benchmark run is the worst way to learn.
 # Whitespace-only counts as unset; case is normalized so "NumPy" works.
-_env_choice: Optional[str] = os.environ.get("NOVA_SUBSTRATE")
-if _env_choice is not None and _env_choice.strip():
-    select(_env_choice.strip().lower())
+_env_choice: Optional[str] = config_mod.substrate()
+if _env_choice is not None:
+    select(_env_choice)

@@ -18,8 +18,10 @@ Three ways to turn collection on:
 
 * the ``nova --stats <command> ...`` CLI flag, which prints a summary
   to stderr after the command;
-* the ``NOVA_PERF=1`` environment variable, which enables a
-  process-global collector at import time (the CLI prints it too).
+* the runtime config (:mod:`repro.config`): ``perf = true`` in a
+  ``$NOVA_CONFIG`` file — or the deprecated ``NOVA_PERF=1`` variable —
+  enables a process-global collector at import time (the CLI prints
+  it too).
 
 Counters are plain attributes (see :class:`PerfStats`); wall-clock
 timers accumulate into ``stats.timers`` via :func:`timer`.
@@ -28,10 +30,10 @@ timers accumulate into ``stats.timers`` via :func:`timer`.
 from __future__ import annotations
 
 from contextlib import contextmanager
-import os
 import time
 from typing import Dict, Iterator, Optional
 
+from repro import config as config_mod
 from repro.errors import BudgetExhausted
 from repro.perf.budget import Budget, BudgetExceeded
 
@@ -128,7 +130,8 @@ class PerfStats:
 # The active collector; ``None`` means collection is off.  Hot paths
 # read this through the module (``perf.STATS``) so :func:`collect` can
 # swap it.
-STATS: Optional[PerfStats] = PerfStats() if os.environ.get("NOVA_PERF") else None
+STATS: Optional[PerfStats] = (PerfStats() if config_mod.perf_enabled()
+                              else None)
 
 
 def enabled() -> bool:
