@@ -43,6 +43,8 @@ from typing import (
     Union,
 )
 
+from repro.analysis.dataflow import ModuleInfo
+
 #: Reported for malformed lint directives and unparseable files — the
 #: meta-rule that keeps the other rules honest.
 META_RULE = "NV000"
@@ -120,6 +122,14 @@ class FileContext:
     source: str
     tree: ast.Module
     suppressions: List[Suppression] = field(default_factory=list)
+    _module_info: Optional["ModuleInfo"] = field(default=None, repr=False)
+
+    def module_info(self) -> "ModuleInfo":
+        """The file's dataflow facts, built once and shared by every
+        rule that asks (see :mod:`repro.analysis.dataflow`)."""
+        if self._module_info is None:
+            self._module_info = ModuleInfo(self.tree)
+        return self._module_info
 
     def finding(self, rule: "Rule", node: Union[ast.AST, int],
                 message: str) -> Finding:
@@ -266,6 +276,54 @@ class LintConfig:
         "namedtuple", "compile",
     )
 
+    # --- NV007 ---------------------------------------------------------
+    #: receiver-name substrings that mark a lease/claim object; calls
+    #: like ``leases.acquire(...)`` / ``leases.heartbeat(...)`` return
+    #: Optional and must be None-guarded before use
+    lease_receivers: Tuple[str, ...] = ("lease",)
+    #: class names whose instances are fsync'd journal writers — their
+    #: ``.append`` rows are the fenced durable records
+    journal_classes: Tuple[str, ...] = ("Journal",)
+    #: path fragments that identify shard/manifest files; raw writes
+    #: whose argument dataflow contains one must go through a blessed
+    #: atomic writer (shares ``atomic_writers`` with NV003)
+    shard_markers: Tuple[str, ...] = (".jsonl", "manifest.json")
+
+    # --- NV008 ---------------------------------------------------------
+    #: fully-dotted calls that block the event loop
+    blocking_calls: Tuple[str, ...] = (
+        "time.sleep", "subprocess.run", "subprocess.call",
+        "subprocess.check_call", "subprocess.check_output", "os.system",
+        "socket.create_connection",
+    )
+    #: terminal names of awaited calls that wait on external work
+    #: (peers, pipes, sockets) and therefore need a timeout/deadline
+    external_awaits: Tuple[str, ...] = (
+        "drain", "wait_closed", "readuntil", "readexactly", "readline",
+        "recv", "accept", "connect", "sendall",
+    )
+
+    # --- NV009 ---------------------------------------------------------
+    #: call names that hand out resources needing an owner
+    resource_factories: Tuple[str, ...] = (
+        "open", "Pipe", "Popen", "socket", "socketpair",
+        "create_connection",
+    )
+    #: receiver-name substrings marking slot/lock-like objects whose
+    #: ``.acquire()`` must be paired with a dominating ``.release()``
+    slot_receivers: Tuple[str, ...] = ("slot", "sem", "lock", "mutex")
+    #: method names that end a resource's lifetime in a ``finally``
+    release_methods: Tuple[str, ...] = (
+        "close", "release", "terminate", "kill",
+    )
+
+    # --- NV010 ---------------------------------------------------------
+    #: modules allowed to read NOVA_* environment variables (the
+    #: RuntimeConfig choke point)
+    config_modules: Tuple[str, ...] = ("config.py",)
+    #: environment-variable prefix the config contract owns
+    env_prefix: str = "NOVA_"
+
 
 def default_config() -> LintConfig:
     """The shipping configuration: this repository's invariants."""
@@ -296,6 +354,15 @@ def default_config() -> LintConfig:
         # modules because ``nova serve`` spawns workers too, and every
         # module imported on that path must stay import-clean
         "NV006": ("runner/worker.py", "server/*.py"),
+        # the fencing layer lives in runner/ (lease.py, journal.py,
+        # batch.py); NV007 guards claim/heartbeat discipline there
+        "NV007": ("runner/*.py",),
+        # everything that runs on (or is called from) the event loop
+        "NV008": ("server/*.py",),
+        # subsystems that hold OS resources: handles, pipes, slots
+        "NV009": ("server/*.py", "runner/*.py", "cache/*.py"),
+        # NV010 runs everywhere: the whole point is that *no* module
+        # outside config.py reads NOVA_* (config_modules exempts it)
         # scope key consumed by NV004 for its raise-taxonomy half
         "NV004-stages": (
             "encoding/iexact.py", "encoding/igreedy.py",
@@ -423,10 +490,28 @@ class LintResult:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
+def _decorated_statement_lines(tree: ast.Module, line: int) -> List[int]:
+    """When *line* starts a decorator list, every line the decorated
+    statement spans: each decorator's line plus the ``def``/``class``
+    line itself.  Empty when *line* is not a decorator."""
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        if decorators[0].lineno <= line <= node.lineno:
+            lines = [d.lineno for d in decorators]
+            lines.append(node.lineno)
+            return lines
+    return []
+
+
 def _suppression_targets(ctx: FileContext) -> Dict[int, Suppression]:
     """Line -> suppression map.  An inline directive covers its own
     line; a standalone one covers the next *code* line, so multi-line
-    justification comments may continue below the directive."""
+    justification comments may continue below the directive.  When that
+    next code line opens a decorator list, the directive covers the
+    whole decorated statement (every decorator line and the ``def``),
+    not just the first ``@`` line."""
     lines = ctx.source.splitlines()
     out: Dict[int, Suppression] = {}
     for sup in ctx.suppressions:
@@ -437,6 +522,10 @@ def _suppression_targets(ctx: FileContext) -> Dict[int, Suppression]:
             text = lines[idx].strip()
             if text and not text.startswith("#"):
                 out.setdefault(idx + 1, sup)
+                if text.startswith("@"):
+                    for covered in _decorated_statement_lines(
+                            ctx.tree, idx + 1):
+                        out.setdefault(covered, sup)
                 break
     return out
 

@@ -1,0 +1,358 @@
+"""CFG-lite dataflow queries for the lint rules.
+
+The per-node rules of PR 5 match one statement at a time; the
+concurrency rules (NV007–NV010) need to answer questions *about* the
+code around a node: which function contains it, what a name was bound
+to, whether a guard follows an acquisition, which synchronous functions
+a coroutine can reach.  This module computes one :class:`ModuleInfo`
+per parsed file (cached on the :class:`~repro.analysis.core.FileContext`)
+holding exactly the approximations those questions need:
+
+* a **parent map** and per-function statement tree, so any node can be
+  placed in its function, its statement spine, and its sibling order;
+* a **symbol-table / reaching-definitions layer**: per-function name →
+  the value expressions ever assigned to it (flow-insensitive, which is
+  sound for the "does this name ever hold a Journal / a file handle"
+  questions the rules ask), plus module-level string constants so a
+  ``MANIFEST_NAME``-style indirection still resolves;
+* **in-module call resolution**: ``foo()`` to the module function
+  ``foo``, ``self.bar()`` to a method of the enclosing class — and only
+  ``Call.func`` positions count, so a function *referenced* as an
+  argument (``asyncio.to_thread(self._run_blocking, …)``) is correctly
+  not an edge;
+* **region tracking** for ``with``/``try`` bodies and loops, plus the
+  straight-line dominance approximation (statement order within a
+  block, guard-clause detection) that stands in for a full CFG.
+
+Everything here is deliberately conservative: when a question cannot be
+answered statically the answer is "unknown", and each rule decides
+whether unknown means silence (no false positives) or a finding (an
+invariant that cannot be checked).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "receiver_of",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNC_NODES + (ast.ClassDef,)
+
+
+def receiver_of(call: ast.Call) -> Optional[ast.expr]:
+    """The object a method call is invoked on (``x`` in ``x.m()``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.value
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) and its locally-derivable facts."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    name: str
+    qualname: str  # "Class.method" or "function" or "outer.inner"
+    class_name: Optional[str]
+    is_async: bool
+    #: name -> value expressions ever assigned to it (reaching defs,
+    #: flow-insensitive), including ``with … as name`` items
+    bindings: Dict[str, List[ast.expr]] = field(default_factory=dict)
+    #: parameter name -> annotation node (None when unannotated)
+    params: Dict[str, Optional[ast.expr]] = field(default_factory=dict)
+
+    def body_nodes(self) -> Iterator[ast.AST]:
+        """Every node of this function, not descending into nested
+        function/class definitions (their bodies have their own info)."""
+        stack: List[ast.AST] = list(self.node.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SCOPE_NODES):
+                    continue
+                stack.append(child)
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in self.body_nodes():
+            if isinstance(node, ast.Call):
+                yield node
+
+    def binds_from_call(self, name: str,
+                        callee_names: Sequence[str]) -> bool:
+        """Was *name* ever bound to the result of one of *callee_names*?
+
+        Matches the terminal name of the bound call (``Journal(p)`` and
+        ``journal_mod.Journal(p)`` both bind from ``Journal``).
+        """
+        for value in self.bindings.get(name, ()):
+            if isinstance(value, ast.Call):
+                func = value.func
+                terminal = (func.id if isinstance(func, ast.Name)
+                            else func.attr
+                            if isinstance(func, ast.Attribute) else None)
+                if terminal in callee_names:
+                    return True
+        return False
+
+
+class ModuleInfo:
+    """Dataflow facts for one parsed module, built on first query."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self._parents: Dict[int, ast.AST] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module-level NAME = "constant" bindings
+        self.constants: Dict[str, str] = {}
+        self._by_node: Dict[int, FunctionInfo] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Constant) \
+                    and isinstance(stmt.value.value, str):
+                self.constants[stmt.targets[0].id] = stmt.value.value
+        self._collect_functions(self.tree, prefix="", class_name=None)
+
+    def _collect_functions(self, scope: ast.AST, prefix: str,
+                           class_name: Optional[str]) -> None:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, ast.ClassDef):
+                self._collect_functions(node, prefix, class_name=node.name)
+            elif isinstance(node, _FUNC_NODES):
+                qual = (f"{class_name}.{node.name}" if class_name
+                        else f"{prefix}{node.name}" if prefix
+                        else node.name)
+                info = FunctionInfo(
+                    node=node, name=node.name, qualname=qual,
+                    class_name=class_name,
+                    is_async=isinstance(node, ast.AsyncFunctionDef))
+                self._index_function(info)
+                self.functions[qual] = info
+                self._by_node[id(node)] = info
+                # nested defs get "outer.inner" qualnames
+                self._collect_functions(node, prefix=f"{qual}.",
+                                        class_name=None)
+
+    def _index_function(self, info: FunctionInfo) -> None:
+        args = info.node.args
+        for a in (list(args.posonlyargs) + list(args.args)
+                  + list(args.kwonlyargs)
+                  + ([args.vararg] if args.vararg else [])
+                  + ([args.kwarg] if args.kwarg else [])):
+            info.params[a.arg] = a.annotation
+        for node in info.body_nodes():
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._bind_target(info, target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._bind_target(info, node.target, node.value)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(info, item.optional_vars,
+                                          item.context_expr)
+
+    @staticmethod
+    def _bind_target(info: FunctionInfo, target: ast.AST,
+                     value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            info.bindings.setdefault(target.id, []).append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    info.bindings.setdefault(elt.id, []).append(value)
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def enclosing_function(self, node: ast.AST) -> Optional[FunctionInfo]:
+        """The innermost function whose body contains *node*."""
+        cur = self.parent(node)
+        while cur is not None:
+            info = self._by_node.get(id(cur))
+            if info is not None:
+                return info
+            cur = self.parent(cur)
+        return None
+
+    def statement_of(self, node: ast.AST) -> Optional[ast.stmt]:
+        """The innermost statement containing *node*."""
+        cur: Optional[ast.AST] = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = self.parent(cur)
+        return cur if isinstance(cur, ast.stmt) else None
+
+    def statement_spine(self, node: ast.AST) -> List[ast.stmt]:
+        """Ancestor statements of *node*, innermost first, up to (not
+        including) the enclosing function body."""
+        out: List[ast.stmt] = []
+        cur: Optional[ast.AST] = node
+        while cur is not None and not isinstance(cur, _FUNC_NODES):
+            if isinstance(cur, ast.stmt):
+                out.append(cur)
+            cur = self.parent(cur)
+        return out
+
+    def next_sibling(self, stmt: ast.stmt) -> Optional[ast.stmt]:
+        """The statement following *stmt* in its containing block."""
+        parent = self.parent(stmt)
+        if parent is None:
+            return None
+        for fname in ("body", "orelse", "finalbody"):
+            block = getattr(parent, fname, None)
+            if isinstance(block, list) and stmt in block:
+                idx = block.index(stmt)
+                if idx + 1 < len(block):
+                    return block[idx + 1]
+                return None
+        return None
+
+    def enclosing_loop(self, node: ast.AST,
+                       outermost: bool = True) -> Optional[ast.AST]:
+        """The (outermost) ``for``/``while`` loop containing *node*
+        within its function, or ``None``."""
+        found: Optional[ast.AST] = None
+        cur = self.parent(node)
+        while cur is not None and not isinstance(cur, _FUNC_NODES):
+            if isinstance(cur, (ast.For, ast.AsyncFor, ast.While)):
+                found = cur
+                if not outermost:
+                    return found
+            cur = self.parent(cur)
+        return found
+
+    def inside_call_args(self, node: ast.AST) -> bool:
+        """Is *node* inside the argument list of some call?  (Function
+        references passed as arguments are *not* invoked here.)"""
+        cur = node
+        parent = self.parent(cur)
+        while parent is not None and not isinstance(parent, ast.stmt):
+            if isinstance(parent, ast.Call) and cur is not parent.func:
+                return True
+            cur, parent = parent, self.parent(parent)
+        return False
+
+    # ------------------------------------------------------------------
+    # dataflow queries
+    # ------------------------------------------------------------------
+    def constant_strings_in(self, expr: ast.AST,
+                            fi: Optional[FunctionInfo] = None
+                            ) -> Set[str]:
+        """Every string constant reachable in *expr*: literals,
+        f-string pieces, and names resolving to module constants or
+        (one step of) local constant bindings."""
+        out: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                out.add(node.value)
+            elif isinstance(node, ast.Name):
+                if node.id in self.constants:
+                    out.add(self.constants[node.id])
+                elif fi is not None:
+                    for value in fi.bindings.get(node.id, ()):
+                        if value is not expr:
+                            for sub in ast.walk(value):
+                                if isinstance(sub, ast.Constant) \
+                                        and isinstance(sub.value, str):
+                                    out.add(sub.value)
+        return out
+
+    def none_guard_follows(self, stmt: ast.stmt, name: str) -> bool:
+        """Does the statement after *stmt* guard *name* against None?
+
+        Recognized forms (the straight-line dominance approximation)::
+
+            if name is None: <ends in continue/return/raise/break>
+            if name is not None: <uses inside>
+            if name: <uses inside>
+        """
+        nxt = self.next_sibling(stmt)
+        if not isinstance(nxt, ast.If):
+            return False
+        test = nxt.test
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+                and isinstance(test.left, ast.Name) \
+                and test.left.id == name \
+                and len(test.comparators) == 1 \
+                and isinstance(test.comparators[0], ast.Constant) \
+                and test.comparators[0].value is None:
+            if isinstance(test.ops[0], ast.Is):
+                # `if name is None:` must leave the block — or carry an
+                # else branch, confining the success path there
+                if nxt.orelse:
+                    return True
+                tail = nxt.body[-1] if nxt.body else None
+                return isinstance(tail, (ast.Continue, ast.Return,
+                                         ast.Raise, ast.Break))
+            if isinstance(test.ops[0], ast.IsNot):
+                return True
+        if isinstance(test, ast.Name) and test.id == name:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # call graph / coroutine reachability
+    # ------------------------------------------------------------------
+    def resolve_call(self, fi: FunctionInfo,
+                     call: ast.Call) -> Optional[FunctionInfo]:
+        """The in-module function a call invokes, when resolvable.
+
+        ``foo()`` resolves to a module-level function ``foo``;
+        ``self.bar()`` resolves to method ``bar`` of *fi*'s class.
+        Anything else (imports, attributes of other objects) is None.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = self.functions.get(func.id)
+            if target is not None and target.class_name is None:
+                return target
+            return None
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "self" and fi.class_name:
+            return self.functions.get(f"{fi.class_name}.{func.attr}")
+        return None
+
+    def coroutine_reachable(self) -> Set[str]:
+        """Qualnames of every function whose body can run on the event
+        loop: coroutines themselves plus synchronous functions they
+        (transitively) call within this module.  Functions only ever
+        *referenced* (passed to ``asyncio.to_thread``/executors) are
+        not reachable through that reference.
+        """
+        reachable: Set[str] = set()
+        frontier = [fi for fi in self.functions.values() if fi.is_async]
+        for fi in frontier:
+            reachable.add(fi.qualname)
+        while frontier:
+            fi = frontier.pop()
+            for call in fi.calls():
+                target = self.resolve_call(fi, call)
+                if target is None or target.qualname in reachable:
+                    continue
+                if target.is_async:
+                    continue  # already a root
+                reachable.add(target.qualname)
+                frontier.append(target)
+        return reachable

@@ -7,4 +7,8 @@ from repro.analysis.rules import (  # noqa: F401
     nv004_taxonomy,
     nv005_determinism,
     nv006_spawn,
+    nv007_fencing,
+    nv008_async,
+    nv009_lifetime,
+    nv010_config,
 )

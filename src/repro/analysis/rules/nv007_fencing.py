@@ -1,0 +1,236 @@
+"""NV007 — lease/fencing discipline in the work-stealing runner.
+
+The cooperative batch mode (``nova batch --join``) is correct only
+while four invariants hold together (DESIGN §6.11): claims are taken
+through ``LeaseDir.acquire`` and *checked* (it returns ``None`` when
+another claimant holds the task), long claim loops renew their leases
+(or the TTL reaper steals live work), merge precedence is the full
+``(epoch, claimant)`` tuple (a bare epoch comparison re-introduces the
+tie-break nondeterminism the tuple exists to kill), and every durable
+row carries its fencing stamp.  Each sub-check below guards one of
+those, using the dataflow layer to place calls in their functions,
+resolve receivers, and approximate dominance:
+
+* ``acquire``/``heartbeat`` results on lease receivers must be
+  None-guarded by the immediately following statement;
+* a loop that claims leases must also heartbeat them somewhere in the
+  same loop;
+* ordering comparisons (``<``/``>``/``<=``/``>=``) on a bare ``epoch``
+  name are findings — compare ``(epoch, claimant)`` tuples;
+* a journal row that stamps one of ``epoch``/``claimant`` must stamp
+  both (a torn stamp loses the merge tie-break);
+* raw writes whose path dataflow reaches a shard/manifest name must go
+  through a blessed atomic writer (shares NV003's ``atomic_writers``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    call_name,
+    dotted_name,
+    register,
+)
+from repro.analysis.dataflow import FunctionInfo, ModuleInfo, receiver_of
+
+_ORDERING = (ast.Lt, ast.Gt, ast.LtE, ast.GtE)
+
+
+def _terminal_name(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _is_lease_receiver(call: ast.Call, config: LintConfig) -> bool:
+    recv = receiver_of(call)
+    if recv is None:
+        return False
+    dotted = dotted_name(recv) or _terminal_name(recv) or ""
+    return any(marker in dotted.lower()
+               for marker in config.lease_receivers)
+
+
+def _stamp_keys(fi: FunctionInfo, entry_name: str) -> Set[str]:
+    """String keys ever written into *entry_name*: subscript stores
+    plus the keys of any dict literal it was bound from."""
+    keys: Set[str] = set()
+    for node in fi.body_nodes():
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == entry_name \
+                        and isinstance(target.slice, ast.Constant) \
+                        and isinstance(target.slice.value, str):
+                    keys.add(target.slice.value)
+    for value in fi.bindings.get(entry_name, ()):
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+@register
+class LeaseFencing(Rule):
+    id = "NV007"
+    title = "lease claims are checked, renewed, and fence the journal"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        info = ctx.module_info()
+        yield from self._check_guarded_claims(ctx, info, config)
+        yield from self._check_heartbeats(ctx, info, config)
+        yield from self._check_epoch_comparisons(ctx, info)
+        yield from self._check_journal_stamps(ctx, info, config)
+        yield from self._check_raw_shard_writes(ctx, info, config)
+
+    # ------------------------------------------------------------------
+    def _check_guarded_claims(self, ctx: FileContext, info: ModuleInfo,
+                              config: LintConfig) -> Iterator[Finding]:
+        """``x = leases.acquire(...)`` must be followed by a None-guard
+        on ``x`` — both methods return None when the claim fails."""
+        for fi in info.functions.values():
+            for node in fi.body_nodes():
+                if not isinstance(node, ast.Assign) \
+                        or not isinstance(node.value, ast.Call):
+                    continue
+                call = node.value
+                if call_name(call) not in ("acquire", "heartbeat"):
+                    continue
+                if not _is_lease_receiver(call, config):
+                    continue
+                if len(node.targets) != 1 \
+                        or not isinstance(node.targets[0], ast.Name):
+                    continue
+                name = node.targets[0].id
+                if not info.none_guard_follows(node, name):
+                    yield ctx.finding(
+                        self, call,
+                        f"{call_name(call)}() result {name!r} is used "
+                        f"without a None-guard — a failed claim returns "
+                        f"None; check it before touching the task")
+
+    def _check_heartbeats(self, ctx: FileContext, info: ModuleInfo,
+                          config: LintConfig) -> Iterator[Finding]:
+        """A loop that claims leases must renew them in the same loop,
+        or a claimant slower than the TTL looks dead and is stolen."""
+        for fi in info.functions.values():
+            for call in fi.calls():
+                if call_name(call) != "acquire" \
+                        or not _is_lease_receiver(call, config):
+                    continue
+                loop = info.enclosing_loop(call, outermost=True)
+                if loop is None:
+                    continue
+                has_heartbeat = any(
+                    isinstance(sub, ast.Call)
+                    and call_name(sub) == "heartbeat"
+                    for sub in ast.walk(loop))
+                if not has_heartbeat:
+                    yield ctx.finding(
+                        self, call,
+                        "claim loop never heartbeats its leases — work "
+                        "outlasting the TTL will be presumed dead and "
+                        "stolen; renew with heartbeat() inside the loop")
+
+    def _check_epoch_comparisons(self, ctx: FileContext,
+                                 info: ModuleInfo) -> Iterator[Finding]:
+        """Ordering on a bare epoch loses the claimant tie-break."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            bare = None
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, _ORDERING):
+                    continue
+                for expr in (operands[i], operands[i + 1]):
+                    name = _terminal_name(expr)
+                    if name is not None and name.lower().endswith("epoch"):
+                        bare = name
+                        break
+                if bare is not None:
+                    break
+            if bare is not None:
+                yield ctx.finding(
+                    self, node,
+                    f"ordering comparison on bare {bare!r} — merge "
+                    f"precedence is the (epoch, claimant) tuple; "
+                    f"comparing epochs alone makes same-epoch ties "
+                    f"nondeterministic")
+
+    def _check_journal_stamps(self, ctx: FileContext, info: ModuleInfo,
+                              config: LintConfig) -> Iterator[Finding]:
+        """A journal row stamping one of epoch/claimant must stamp both."""
+        for fi in info.functions.values():
+            for node in fi.body_nodes():
+                if not isinstance(node, ast.Call) \
+                        or call_name(node) != "append":
+                    continue
+                recv = receiver_of(node)
+                recv_name = _terminal_name(recv) if recv else None
+                if recv_name is None:
+                    continue
+                is_journal = (
+                    fi.binds_from_call(recv_name, config.journal_classes)
+                    or (recv_name in fi.params
+                        and fi.params[recv_name] is not None
+                        and _terminal_name(fi.params[recv_name])
+                        in config.journal_classes))
+                if not is_journal:
+                    continue
+                if not node.args or not isinstance(node.args[0], ast.Name):
+                    continue
+                keys = _stamp_keys(fi, node.args[0].id)
+                has_epoch = "epoch" in keys
+                has_claimant = "claimant" in keys
+                if has_epoch != has_claimant:
+                    missing = "claimant" if has_epoch else "epoch"
+                    yield ctx.finding(
+                        self, node,
+                        f"journal row is stamped with only half the "
+                        f"fencing key ({missing!r} never written) — "
+                        f"merge precedence needs both epoch and "
+                        f"claimant on every row")
+
+    def _check_raw_shard_writes(self, ctx: FileContext, info: ModuleInfo,
+                                config: LintConfig) -> Iterator[Finding]:
+        """Shard/manifest bytes only reach disk through blessed writers."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "open":
+                args = node.args
+            elif name in ("write_text", "write_bytes") \
+                    and isinstance(node.func, ast.Attribute):
+                args = [node.func.value]
+            else:
+                continue
+            fi = info.enclosing_function(node)
+            if fi is not None and (
+                    fi.qualname in config.atomic_writers
+                    or fi.name in config.atomic_writers):
+                continue
+            consts: Set[str] = set()
+            for arg in args:
+                consts |= info.constant_strings_in(arg, fi)
+            if any(marker in const for marker in config.shard_markers
+                   for const in consts):
+                yield ctx.finding(
+                    self, node,
+                    "raw write to a shard/manifest path — these files "
+                    "carry the fencing protocol; publish through "
+                    "Journal.append or write_manifest so rows stay "
+                    "fsync'd, single-writer, and atomic")

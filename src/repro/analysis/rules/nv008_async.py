@@ -1,0 +1,130 @@
+"""NV008 — async hygiene on the event-loop path.
+
+The encode service (DESIGN §6.9) runs every request on a single
+asyncio loop; one blocking call in a coroutine — or in any synchronous
+helper a coroutine reaches — stalls every connection at once, which is
+exactly the failure the pool/admission machinery exists to prevent.
+And an await on *external* work (a peer's socket, a subprocess pipe)
+with no deadline turns a slow client into a wedged handler slot.
+
+Two sub-checks, both built on the module call graph:
+
+* **no blocking calls on the loop**: ``time.sleep``, ``subprocess.*``,
+  sync ``open``, and unbounded ``Future.result()`` are findings inside
+  any function in :meth:`ModuleInfo.coroutine_reachable` — coroutines
+  plus the synchronous helpers they transitively call.  Functions only
+  *referenced* (handed to ``asyncio.to_thread`` or an executor) run
+  off-loop and are correctly exempt;
+* **deadlines on external awaits**: ``await x.drain()`` and friends
+  (``config.external_awaits``) must carry a ``timeout=``/``deadline=``
+  keyword or sit under ``asyncio.timeout(...)``/``wait_for`` — an
+  await whose completion is controlled by a remote peer needs a bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    call_name,
+    dotted_name,
+    register,
+)
+from repro.analysis.dataflow import ModuleInfo
+
+_TIMEOUT_KWARGS = ("timeout", "deadline")
+_TIMEOUT_SCOPES = ("timeout", "timeout_at", "move_on_after", "fail_after")
+
+
+def _has_deadline_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg in _TIMEOUT_KWARGS for kw in call.keywords)
+
+
+@register
+class AsyncHygiene(Rule):
+    id = "NV008"
+    title = "no blocking work on the event loop; external awaits bounded"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        info = ctx.module_info()
+        on_loop = info.coroutine_reachable()
+        yield from self._check_blocking(ctx, info, config, on_loop)
+        yield from self._check_unbounded_awaits(ctx, info, config)
+
+    # ------------------------------------------------------------------
+    def _check_blocking(self, ctx: FileContext, info: ModuleInfo,
+                        config: LintConfig,
+                        on_loop) -> Iterator[Finding]:
+        for qual in sorted(on_loop):
+            fi = info.functions[qual]
+            where = ("coroutine" if fi.is_async
+                     else f"function reachable from a coroutine")
+            for call in fi.calls():
+                dotted = dotted_name(call.func)
+                if dotted in config.blocking_calls:
+                    yield ctx.finding(
+                        self, call,
+                        f"blocking call {dotted}() in {where} "
+                        f"{fi.qualname!r} stalls the event loop — move "
+                        f"it behind asyncio.to_thread or the worker "
+                        f"pool")
+                elif call_name(call) == "open" \
+                        and isinstance(call.func, ast.Name):
+                    yield ctx.finding(
+                        self, call,
+                        f"synchronous file I/O (open) in {where} "
+                        f"{fi.qualname!r} blocks the event loop — do "
+                        f"the I/O off-loop and await the result")
+                elif call_name(call) == "result" \
+                        and isinstance(call.func, ast.Attribute) \
+                        and not call.args \
+                        and not _has_deadline_kwarg(call):
+                    yield ctx.finding(
+                        self, call,
+                        f".result() without a timeout in {where} "
+                        f"{fi.qualname!r} can block the loop forever — "
+                        f"pass timeout= or await the future instead")
+
+    def _check_unbounded_awaits(self, ctx: FileContext, info: ModuleInfo,
+                                config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Await) \
+                    or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            name = call_name(call)
+            if name not in config.external_awaits:
+                continue
+            if _has_deadline_kwarg(call):
+                continue
+            if self._under_timeout_scope(info, node):
+                continue
+            yield ctx.finding(
+                self, node,
+                f"await {name}() has no deadline — completion is "
+                f"controlled by the peer; wrap in asyncio.wait_for or "
+                f"an asyncio.timeout() scope so a slow client cannot "
+                f"wedge this handler")
+
+    @staticmethod
+    def _under_timeout_scope(info: ModuleInfo, node: ast.AST) -> bool:
+        """Is *node* inside ``async with asyncio.timeout(...)`` (or a
+        sibling deadline scope) within its function?"""
+        cur: Optional[ast.AST] = info.parent(node)
+        while cur is not None \
+                and not isinstance(cur, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+            if isinstance(cur, (ast.With, ast.AsyncWith)):
+                for item in cur.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call) \
+                            and call_name(expr) in _TIMEOUT_SCOPES:
+                        return True
+            cur = info.parent(cur)
+        return False

@@ -1,0 +1,182 @@
+"""NV009 — resource lifetimes dominate every exit.
+
+Handles leak on the paths nobody tests: the exception between acquire
+and the ``try`` that was supposed to release, the early return before
+``close()``.  Under load the server's admission slots are the scarcest
+resource in the repo — one leaked slot permanently shrinks capacity —
+and leaked file handles/pipes accumulate until the OS says no.
+
+Two sub-checks, driven by the binding layer:
+
+* **factory bindings**: a name bound from a resource factory
+  (``config.resource_factories``: ``open``, ``Popen``, ``Pipe``,
+  sockets) must either be managed — bound by a ``with`` item, released
+  by a ``close``/``terminate`` in a ``finally`` block — or visibly
+  transfer ownership (returned, stored on an attribute, or passed to
+  another call).  A binding that does none of these leaks on any
+  exception between acquire and close;
+* **slot acquire/release pairing**: an explicit ``.acquire()`` on a
+  slot-like receiver (``config.slot_receivers``) must be paired with a
+  ``finally`` that releases the same receiver, and that ``try`` must
+  dominate everything after the acquire — either enclosing it or
+  starting as the *immediately* following statement.  Any code between
+  a successful acquire and the protecting ``try`` is a leak window.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    call_name,
+    dotted_name,
+    register,
+)
+from repro.analysis.dataflow import FunctionInfo, ModuleInfo, receiver_of
+
+
+def _factory_terminal(value: ast.expr,
+                      config: LintConfig) -> Optional[str]:
+    if isinstance(value, ast.Call):
+        name = call_name(value)
+        if name in config.resource_factories:
+            return name
+    return None
+
+
+def _is_slot_receiver(recv: Optional[ast.expr],
+                      config: LintConfig) -> bool:
+    if recv is None:
+        return False
+    dotted = dotted_name(recv) or ""
+    return any(marker in dotted.lower() for marker in config.slot_receivers)
+
+
+@register
+class ResourceLifetime(Rule):
+    id = "NV009"
+    title = "acquired resources are released on every exit path"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        info = ctx.module_info()
+        for fi in info.functions.values():
+            yield from self._check_factory_bindings(ctx, info, fi, config)
+            yield from self._check_slot_pairing(ctx, info, fi, config)
+
+    # ------------------------------------------------------------------
+    def _check_factory_bindings(self, ctx: FileContext, info: ModuleInfo,
+                                fi: FunctionInfo,
+                                config: LintConfig) -> Iterator[Finding]:
+        for name, values in fi.bindings.items():
+            for value in values:
+                factory = _factory_terminal(value, config)
+                if factory is None:
+                    continue
+                if isinstance(info.parent(value), ast.withitem):
+                    continue  # with-managed
+                if self._released_in_finally(info, fi, name, config):
+                    continue
+                if self._ownership_transferred(info, fi, name, value):
+                    continue
+                yield ctx.finding(
+                    self, value,
+                    f"{name!r} holds a {factory}() resource with no "
+                    f"with-block, no finally-release, and no ownership "
+                    f"transfer — any exception before close() leaks "
+                    f"the handle")
+
+    @staticmethod
+    def _released_in_finally(info: ModuleInfo, fi: FunctionInfo,
+                             name: str, config: LintConfig) -> bool:
+        for node in fi.body_nodes():
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) \
+                            and call_name(sub) in config.release_methods:
+                        recv = receiver_of(sub)
+                        if isinstance(recv, ast.Name) and recv.id == name:
+                            return True
+        return False
+
+    @staticmethod
+    def _ownership_transferred(info: ModuleInfo, fi: FunctionInfo,
+                               name: str, value: ast.expr) -> bool:
+        """Returned, yielded, stored on an attribute/container, or
+        passed as an argument to another call — someone else owns it."""
+        for node in fi.body_nodes():
+            if isinstance(node, (ast.Return, ast.Yield)) \
+                    and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+            elif isinstance(node, ast.Assign):
+                if any(not isinstance(t, ast.Name) for t in node.targets):
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id == name:
+                            return True
+            elif isinstance(node, ast.Name) and node.id == name \
+                    and isinstance(node.ctx, ast.Load) \
+                    and info.inside_call_args(node):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _check_slot_pairing(self, ctx: FileContext, info: ModuleInfo,
+                            fi: FunctionInfo,
+                            config: LintConfig) -> Iterator[Finding]:
+        for call in fi.calls():
+            if call_name(call) != "acquire":
+                continue
+            recv = receiver_of(call)
+            if not _is_slot_receiver(recv, config):
+                continue
+            recv_dotted = dotted_name(recv)
+            if not self._release_try_dominates(info, call, recv_dotted,
+                                               config):
+                yield ctx.finding(
+                    self, call,
+                    f"{recv_dotted}.acquire() is not dominated by a "
+                    f"try/finally that releases it — code between the "
+                    f"acquire and the protecting try can raise and "
+                    f"leak the slot; enter the try immediately")
+
+    def _release_try_dominates(self, info: ModuleInfo, call: ast.Call,
+                               recv_dotted: Optional[str],
+                               config: LintConfig) -> bool:
+        spine = info.statement_spine(call)
+        if not spine:
+            return False
+        # An enclosing try whose finally releases the receiver wins
+        # outright; otherwise the release-try must be the statement
+        # *immediately* after the outermost statement of the acquire.
+        cur: Optional[ast.AST] = info.parent(call)
+        while cur is not None and not isinstance(
+                cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(cur, ast.Try) \
+                    and self._finally_releases(cur, recv_dotted, config):
+                return True
+            cur = info.parent(cur)
+        nxt = info.next_sibling(spine[-1])
+        return isinstance(nxt, ast.Try) \
+            and self._finally_releases(nxt, recv_dotted, config)
+
+    @staticmethod
+    def _finally_releases(node: ast.Try, recv_dotted: Optional[str],
+                          config: LintConfig) -> bool:
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) \
+                        and call_name(sub) in config.release_methods:
+                    recv = receiver_of(sub)
+                    if recv is not None \
+                            and dotted_name(recv) == recv_dotted:
+                        return True
+        return False

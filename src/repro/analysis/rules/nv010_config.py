@@ -1,0 +1,71 @@
+"""NV010 — all ``NOVA_*`` environment reads go through the config.
+
+``repro.config.RuntimeConfig`` is the single source of truth for
+runtime knobs: it owns precedence (env < config file < config_scope),
+parsing, validation, and the deprecation story for raw env vars.  A
+module that reads ``NOVA_*`` from ``os.environ`` directly bypasses all
+four — a ``$NOVA_CONFIG`` file silently stops applying to that knob,
+and blank-string/parse handling drifts per call site.  That is exactly
+the bug class PR 6 unified away; this rule keeps it away.
+
+Reads are findings everywhere except the config module itself
+(``config.config_modules``, matched on basename).  *Writes* are
+allowed: ``os.environ[k] = v`` / ``pop`` are how knobs are handed to
+spawned worker processes, where the environment is the only channel.
+Key names resolve through the dataflow layer, so reading a module
+constant (``ENV_CACHE = "NOVA_CACHE"``) does not hide the read.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    dotted_name,
+    register,
+)
+
+_READ_CALLS = ("os.environ.get", "environ.get", "os.getenv", "getenv")
+
+
+@register
+class ConfigDiscipline(Rule):
+    id = "NV010"
+    title = "NOVA_* environment reads only inside the config module"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterator[Finding]:
+        if Path(ctx.path).name in config.config_modules:
+            return
+        info = ctx.module_info()
+        for node in ast.walk(ctx.tree):
+            keys: List[ast.expr] = []
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _READ_CALLS and node.args:
+                    keys = [node.args[0]]
+            elif isinstance(node, ast.Subscript) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and (dotted_name(node.value) or "").endswith("environ"):
+                keys = [node.slice]
+            if not keys:
+                continue
+            fi = info.enclosing_function(node)
+            for key in keys:
+                names = info.constant_strings_in(key, fi)
+                hit = next((n for n in sorted(names)
+                            if n.startswith(config.env_prefix)), None)
+                if hit is not None:
+                    yield ctx.finding(
+                        self, node,
+                        f"direct environment read of {hit!r} outside "
+                        f"the config module — route it through a "
+                        f"RuntimeConfig field/accessor so precedence, "
+                        f"parsing, and $NOVA_CONFIG files keep "
+                        f"applying")

@@ -14,7 +14,6 @@ agree on what "the small slice of table 3" means.
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional
 
 from repro import config as config_mod
@@ -33,8 +32,14 @@ DEFAULT_TASK_TIMEOUT = 900.0
 
 
 def bench_subset(default: str = "small") -> str:
-    """The active quick-slice name (``NOVA_BENCH_SET``)."""
-    return os.environ.get("NOVA_BENCH_SET", default)
+    """The active quick-slice name (``NOVA_BENCH_SET``).
+
+    Resolved through :func:`repro.config.bench_set`, so a
+    ``$NOVA_CONFIG`` file or :func:`repro.config.config_scope` overlay
+    can pin the slice with the usual precedence.
+    """
+    value = config_mod.bench_set()
+    return value if value is not None else default
 
 
 def subset_names(table: str = "paper30",
@@ -61,17 +66,11 @@ def bench_jobs() -> int:
 
 
 def task_timeout(default: float = DEFAULT_TASK_TIMEOUT) -> float:
-    """Per-attempt hard-kill seconds (``NOVA_BENCH_TASK_TIMEOUT``)."""
-    raw = os.environ.get("NOVA_BENCH_TASK_TIMEOUT")
-    if raw is None:
-        return default
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"unrecognized NOVA_BENCH_TASK_TIMEOUT value {raw!r}: "
-            f"expected seconds as a number") from None
-    if value <= 0:
-        raise ValueError(
-            f"NOVA_BENCH_TASK_TIMEOUT must be positive, got {raw!r}")
-    return value
+    """Per-attempt hard-kill seconds (``NOVA_BENCH_TASK_TIMEOUT``).
+
+    Parsing and the positive-seconds validation live in
+    :mod:`repro.config`, which raises ``ValueError`` naming the
+    offending source on a malformed value.
+    """
+    value = config_mod.bench_task_timeout()
+    return value if value is not None else default

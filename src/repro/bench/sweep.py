@@ -138,7 +138,7 @@ def run_sweep(
 
     factory = BatchRunner if runner_factory is None else runner_factory
     env_cache = (spec.kind == "table" and spec.cache != "auto")
-    saved = os.environ.get("NOVA_CACHE")
+    saved = os.environ.get("NOVA_CACHE")  # nova-lint: disable=NV010 -- save-for-restore, not a policy read; the env var is the only channel reaching spawned workers
     if env_cache:
         # table rows encode with their own option defaults inside the
         # worker; the env is the only channel that reaches them

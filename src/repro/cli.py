@@ -462,34 +462,105 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_baseline_key(entry) -> tuple:
+    """Identity of a finding for baseline matching: path + rule +
+    message, deliberately NOT line/col — unrelated edits move lines,
+    and a baseline that rots on every shift is a baseline nobody
+    trusts."""
+    return (entry["path"], entry["rule"], entry["message"])
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Static analysis of the *codebase*: the NV001-NV006 invariants."""
+    """Static analysis of the *codebase*: the NV001-NV010 invariants."""
+    import json as json_mod
+
     from repro.analysis import REGISTRY, instantiate_rules, lint_paths
 
     if args.list_rules:
         for rule_id in sorted(REGISTRY):
             print(f"{rule_id}  {REGISTRY[rule_id]().title}")
         return 0
+    if args.explain:
+        rule_id = args.explain.strip()
+        if rule_id not in REGISTRY:
+            print(f"error: unknown rule {rule_id!r}; "
+                  f"available: {', '.join(sorted(REGISTRY))}",
+                  file=sys.stderr)
+            return 2
+        rule = REGISTRY[rule_id]()
+        doc = (sys.modules[type(rule).__module__].__doc__
+               or type(rule).__doc__ or "(no documentation)")
+        print(f"{rule_id}: {rule.title}\n")
+        print(doc.strip())
+        return 0
     if not args.paths:
         print("error: give at least one file or directory to lint",
               file=sys.stderr)
         return 2
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline needs --baseline FILE to name "
+              "the file to write", file=sys.stderr)
+        return 2
     only = None
-    if args.rules:
-        only = [r.strip() for r in args.rules.split(",") if r.strip()]
+    if args.rules is not None:
+        only = []
+        for raw in args.rules.split(","):
+            rule_id = raw.strip()
+            if rule_id and rule_id not in only:
+                only.append(rule_id)
+        if not only:
+            # "--rules ," etc. must not silently lint with zero rules
+            # and report a clean exit 0
+            print(f"error: --rules selected no rules; "
+                  f"available: {', '.join(sorted(REGISTRY))}",
+                  file=sys.stderr)
+            return 2
     try:
         rules = instantiate_rules(only)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     result = lint_paths(args.paths, rules=rules)
+    if args.update_baseline:
+        payload = {
+            "schema": 1,
+            "findings": sorted((f.to_dict() for f in result.findings),
+                               key=_lint_baseline_key),
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json_mod.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline}: "
+              f"{len(result.findings)} finding(s) recorded",
+              file=sys.stderr)
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                data = json_mod.load(fh)
+            known = {_lint_baseline_key(e) for e in data["findings"]}
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: unreadable baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        fresh = [f for f in result.findings
+                 if _lint_baseline_key(f.to_dict()) not in known]
+        baselined = len(result.findings) - len(fresh)
+        result.findings = fresh
     if args.json:
-        print(result.to_json())
+        payload = result.to_dict()
+        payload["baselined"] = baselined
+        # the rules that actually ran, so tooling can distinguish "no
+        # findings" from "nothing was checked"
+        payload["rules"] = [rule.id for rule in rules]
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
     else:
         for finding in result.findings:
             print(finding.render())
         print(f"{len(result.findings)} finding(s) in {result.files} "
-              f"file(s), {result.suppressed} suppressed "
+              f"file(s), {result.suppressed} suppressed, "
+              f"{baselined} baselined "
               f"({len(rules)} rules active)", file=sys.stderr)
     return 0 if result.ok else 1
 
@@ -740,12 +811,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     lint = sub.add_parser(
         "lint",
-        help="check the codebase's pipeline invariants (NV001-NV006)",
-        description="AST-based static analysis enforcing the repo's "
-                    "correctness contracts: cache-key completeness, "
-                    "budget coverage of hot loops, atomic-write "
-                    "discipline, the error taxonomy, encode-path "
-                    "determinism, and spawn-safety of worker modules. "
+        help="check the codebase's pipeline invariants (NV001-NV010)",
+        description="AST- and dataflow-based static analysis enforcing "
+                    "the repo's correctness contracts: cache-key "
+                    "completeness, budget coverage of hot loops, "
+                    "atomic-write discipline, the error taxonomy, "
+                    "encode-path determinism, spawn-safety of worker "
+                    "modules, lease/fencing discipline in the "
+                    "work-stealing runner, async hygiene on the event "
+                    "loop, resource lifetimes, and config discipline "
+                    "for NOVA_* variables. "
                     "Exit 0 clean, 1 findings, 2 usage error.")
     lint.add_argument("paths", nargs="*",
                       help="files or directories to lint (e.g. src/repro)")
@@ -755,6 +830,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="comma-separated rule subset (e.g. NV001,NV004)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--explain", metavar="RULE",
+                      help="print the full rationale for one rule "
+                           "(the invariant, why it matters, what "
+                           "counts as a finding) and exit")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="JSON baseline of tolerated findings; "
+                           "matches on (path, rule, message) so "
+                           "line drift does not invalidate it")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="write the current findings to --baseline "
+                           "FILE and exit 0")
     lint.set_defaults(func=_cmd_lint)
 
     srv = sub.add_parser(

@@ -54,12 +54,15 @@ __all__ = [
     "SUBSTRATES",
     "RuntimeConfig",
     "bench_jobs",
+    "bench_set",
+    "bench_task_timeout",
     "cache_dir",
     "cache_max_bytes",
     "cache_policy",
     "config_scope",
     "get_config",
     "perf_enabled",
+    "sanitize_enabled",
     "substrate",
 ]
 
@@ -75,7 +78,10 @@ SUBSTRATES: Tuple[str, ...] = ("python", "numpy")
 #: truth; :mod:`repro.cache.store` mirrors it for its constructor.
 DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
 
-#: field name -> legacy environment variable (the deprecation shim).
+#: field name -> environment variable.  Most are legacy reads kept
+#: working through the deprecation shim; the ones listed in
+#: :data:`SANCTIONED_ENV` below are current, documented interfaces
+#: (CI and the benchmark harness set them) and do not warn.
 ENV_VARS: Dict[str, str] = {
     "cache": "NOVA_CACHE",
     "cache_dir": "NOVA_CACHE_DIR",
@@ -83,7 +89,14 @@ ENV_VARS: Dict[str, str] = {
     "substrate": "NOVA_SUBSTRATE",
     "perf": "NOVA_PERF",
     "bench_jobs": "NOVA_BENCH_JOBS",
+    "bench_set": "NOVA_BENCH_SET",
+    "bench_task_timeout": "NOVA_BENCH_TASK_TIMEOUT",
+    "sanitize": "NOVA_SANITIZE",
 }
+
+#: Fields whose environment variable is a sanctioned interface rather
+#: than a deprecated legacy spelling — consulted without warning.
+SANCTIONED_ENV = frozenset({"bench_set", "bench_task_timeout", "sanitize"})
 
 #: Environment variable naming the optional config file.
 CONFIG_FILE_VAR = "NOVA_CONFIG"
@@ -112,6 +125,15 @@ class RuntimeConfig:
         Whether a process-global perf collector starts installed.
     bench_jobs:
         Worker-process parallelism for benchmark sweeps.
+    bench_set:
+        Active benchmark quick-slice name (``small``, ``paper30``, ...),
+        or ``None`` for the harness default.
+    bench_task_timeout:
+        Per-attempt hard-kill seconds for benchmark rows, or ``None``
+        for the harness default.
+    sanitize:
+        Whether the crash-consistency sanitizer
+        (:mod:`repro.testing.sanitize`) arms itself in test runs.
     """
 
     cache: str = "on"
@@ -120,6 +142,9 @@ class RuntimeConfig:
     substrate: str = "python"
     perf: bool = False
     bench_jobs: int = 1
+    bench_set: Optional[str] = None
+    bench_task_timeout: Optional[float] = None
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         _validate_cache(self.cache, "RuntimeConfig.cache")
@@ -142,6 +167,22 @@ class RuntimeConfig:
             raise ValueError(
                 f"RuntimeConfig.cache_dir must be a path string or None, "
                 f"got {self.cache_dir!r}")
+        if self.bench_set is not None \
+                and not isinstance(self.bench_set, str):
+            raise ValueError(
+                f"RuntimeConfig.bench_set must be a slice name string or "
+                f"None, got {self.bench_set!r}")
+        if self.bench_task_timeout is not None and (
+                not isinstance(self.bench_task_timeout, (int, float))
+                or isinstance(self.bench_task_timeout, bool)
+                or self.bench_task_timeout <= 0):
+            raise ValueError(
+                f"RuntimeConfig.bench_task_timeout must be positive "
+                f"seconds or None, got {self.bench_task_timeout!r}")
+        if not isinstance(self.sanitize, bool):
+            raise ValueError(
+                f"RuntimeConfig.sanitize must be a bool, "
+                f"got {self.sanitize!r}")
 
     # ------------------------------------------------------------------
     def replace(self, **changes: Any) -> "RuntimeConfig":
@@ -236,6 +277,22 @@ def _parse_dir(raw: str, source: str) -> Optional[str]:
     return raw or None
 
 
+def _parse_bench_set(raw: str, source: str) -> str:
+    return raw.strip()
+
+
+def _parse_task_timeout(raw: str, source: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"unrecognized {source} value {raw!r}: expected seconds "
+            f"as a number") from None
+    if value <= 0:
+        raise ValueError(f"{source} must be positive, got {raw!r}")
+    return value
+
+
 _ENV_PARSERS: Dict[str, Callable[[str, str], Any]] = {
     "cache": _parse_cache,
     "cache_dir": _parse_dir,
@@ -243,12 +300,16 @@ _ENV_PARSERS: Dict[str, Callable[[str, str], Any]] = {
     "substrate": _parse_substrate,
     "perf": _parse_bool,
     "bench_jobs": _parse_jobs,
+    "bench_set": _parse_bench_set,
+    "bench_task_timeout": _parse_task_timeout,
+    "sanitize": _parse_bool,
 }
 
 # Blank-counts-as-unset applies to every variable except NOVA_CACHE_DIR,
 # where the empty string already meant "use the default" historically.
 _BLANK_IS_UNSET = frozenset(
-    {"cache", "substrate", "perf", "bench_jobs", "cache_max_bytes"})
+    {"cache", "substrate", "perf", "bench_jobs", "cache_max_bytes",
+     "bench_set", "bench_task_timeout", "sanitize"})
 
 
 # ----------------------------------------------------------------------
@@ -278,7 +339,8 @@ def _env_field(field: str) -> Optional[Any]:
         return None
     if field in _BLANK_IS_UNSET and not raw.strip():
         return None
-    _deprecation_note(var)
+    if field not in SANCTIONED_ENV:
+        _deprecation_note(var)
     return _ENV_PARSERS[field](raw, var)
 
 
@@ -492,3 +554,20 @@ def perf_enabled() -> bool:
 def bench_jobs() -> int:
     """Worker-process parallelism for benchmark sweeps."""
     return int(_resolve("bench_jobs"))
+
+
+def bench_set() -> Optional[str]:
+    """Active benchmark quick-slice name, or ``None`` when unset."""
+    value = _resolve("bench_set")
+    return value if value else None
+
+
+def bench_task_timeout() -> Optional[float]:
+    """Per-attempt hard-kill seconds, or ``None`` when unset."""
+    value = _resolve("bench_task_timeout")
+    return float(value) if value is not None else None
+
+
+def sanitize_enabled() -> bool:
+    """Whether the crash-consistency sanitizer arms in test runs."""
+    return bool(_resolve("sanitize"))

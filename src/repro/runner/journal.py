@@ -356,7 +356,7 @@ def merge_results(run_dir: Union[str, Path]) -> MergeResult:
             "epoch": epoch,
             "shard": shard,
             "reason": (f"stale epoch {epoch} < {winner[0]}"
-                       if epoch < winner[0]
+                       if epoch < winner[0]  # nova-lint: disable=NV007 -- precedence was decided by the full _fencing_key tuple above; this compare only words the report
                        else f"tie at epoch {epoch}, claimant "
                             f"{claimant!r} < {winner[1]!r}"),
         })

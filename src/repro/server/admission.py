@@ -127,12 +127,18 @@ class AdmissionController:
                     machine=machine or None) from None
         finally:
             self._queued -= 1
-        wait = time.monotonic() - t0
-        if self.stats is not None:
-            self.stats.record_queue_wait(wait)
-        self._running += 1
+        # The slot is ours from here on: enter the releasing try before
+        # touching anything that can raise (stats hooks), or an
+        # exception in the gap leaks the slot and shrinks capacity for
+        # the life of the process.
         try:
-            yield wait
+            wait = time.monotonic() - t0
+            if self.stats is not None:
+                self.stats.record_queue_wait(wait)
+            self._running += 1
+            try:
+                yield wait
+            finally:
+                self._running -= 1
         finally:
-            self._running -= 1
             self._slots.release()

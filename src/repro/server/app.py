@@ -96,7 +96,13 @@ class ServerApp:
             return {"drained": 0, "cancelled": 0, "workers_killed": 0}
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            try:
+                # on 3.12+ wait_closed also waits for live connections,
+                # which would deadlock against the bounded drain below
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=self.drain_timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass  # stubborn handlers are drained/cancelled below
         pending = {t for t in self._handlers if not t.done()}
         drained = cancelled = 0
         if pending:
@@ -133,8 +139,10 @@ class ServerApp:
         finally:
             try:
                 writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
+                await asyncio.wait_for(writer.wait_closed(),
+                                       timeout=self.drain_timeout)
+            except (asyncio.TimeoutError, TimeoutError,
+                    ConnectionError, OSError):
                 pass
 
     async def _serve_one(self, reader: asyncio.StreamReader,
@@ -164,6 +172,7 @@ class ServerApp:
             self, reader: asyncio.StreamReader
     ) -> Tuple[str, str, Optional[bytes]]:
         try:
+            # nova-lint: disable=NV008 -- bounded at the only call site: _serve_one wraps _read_request in wait_for(read_timeout)
             header = await reader.readuntil(b"\r\n\r\n")
         except asyncio.IncompleteReadError as exc:
             raise ParseError("connection closed mid-header",
@@ -191,6 +200,7 @@ class ServerApp:
                         stage="parse") from None
         if length > _MAX_BODY_BYTES:
             raise ParseError("request body too large", stage="parse")
+        # nova-lint: disable=NV008 -- bounded at the only call site: _serve_one wraps _read_request in wait_for(read_timeout)
         body = await reader.readexactly(length) if length else None
         return method, path, body
 
@@ -252,8 +262,17 @@ class ServerApp:
         for name, value in response.headers.items():
             head.append(f"{name}: {value}")
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
-        await writer.drain()
         fields = dict(response.log)
+        try:
+            # the read side is bounded by read_timeout; this bounds the
+            # write side — a peer that stops reading while our send
+            # buffer is full must not hold the handler slot forever
+            await asyncio.wait_for(writer.drain(),
+                                   timeout=self.drain_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            self.service.stats.slow_clients += 1
+            writer.close()
+            fields["outcome"] = "slow_client"
         fields.update(method=method, path=path, status=response.status,
                       elapsed=round(time.monotonic() - t0, 6))
         _log_line(self.log_stream, fields)

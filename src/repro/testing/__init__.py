@@ -1,5 +1,21 @@
-"""Test-support utilities: deterministic fault injection for the pipeline."""
+"""Test-support utilities: deterministic fault injection for the
+pipeline, plus the runtime crash-consistency sanitizer."""
 
 from repro.testing.faults import Fault, FaultPlan, inject, trip
+from repro.testing.sanitize import (
+    AtomicWriteSanitizer,
+    SanitizerReport,
+    slow_callback_watch,
+    watched_run,
+)
 
-__all__ = ["Fault", "FaultPlan", "inject", "trip"]
+__all__ = [
+    "AtomicWriteSanitizer",
+    "Fault",
+    "FaultPlan",
+    "SanitizerReport",
+    "inject",
+    "slow_callback_watch",
+    "trip",
+    "watched_run",
+]

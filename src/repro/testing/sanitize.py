@@ -1,0 +1,276 @@
+"""Runtime crash-consistency sanitizer for test runs.
+
+The static rules (NV003, NV007) prove the *shape* of the durability
+protocol — tmp + ``fsync`` + ``os.replace`` — at the call sites they
+can see.  This module checks the protocol *dynamically*: while armed,
+it interposes on ``open``/``os.fsync``/``os.replace`` and verifies
+that every rename-publish actually carried its data to disk first, and
+that no temp file is left stranded when the watch ends.  A write path
+that drifts from the protocol (a new call site, a refactor that drops
+the fsync) fails the sanitized test run instead of surviving until a
+power cut reorders the metadata ahead of the data.
+
+Armed only when :func:`repro.config.sanitize_enabled` says so (the
+``NOVA_SANITIZE`` variable, a ``$NOVA_CONFIG`` key, or a
+``config_scope(sanitize=True)`` overlay) — the default test run pays
+nothing.  CI runs the suite once more with the sanitizer on.
+
+Violations reported:
+
+* ``unsynced-replace`` — ``os.replace(src, dst)`` where *src* was
+  opened for writing in this process but never ``os.fsync``'d: on
+  crash the rename can be durable while the contents are not, and
+  readers observe a complete-looking, empty-or-torn published file;
+* ``orphaned-tmp`` — a ``*.tmp`` file created during the watch that
+  was neither published (replaced/linked away) nor cleaned up and
+  still exists when the watch closes;
+* ``slow-callback`` — an event-loop callback exceeded the asyncio
+  debug threshold (see :func:`slow_callback_watch`), i.e. something
+  blocked the loop — the dynamic twin of rule NV008.
+
+Interposition is process-local: worker *subprocesses* are exercised by
+their own sanitized runs, not through this one.  The shims keep their
+bookkeeping best-effort — any tracking error degrades to "no report",
+never to breaking the I/O under test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import builtins
+import io
+import logging
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+__all__ = [
+    "AtomicWriteSanitizer",
+    "SanitizerReport",
+    "slow_callback_watch",
+    "watched_run",
+]
+
+_WRITE_MODE_CHARS = ("w", "a", "x", "+")
+
+
+@dataclass
+class SanitizerReport:
+    """One observed crash-consistency violation."""
+
+    kind: str  # "unsynced-replace" | "orphaned-tmp" | "slow-callback"
+    path: str  # offending path, or the callback repr for slow-callback
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.path}: {self.detail}"
+
+
+def _is_write_mode(mode: str) -> bool:
+    return any(ch in mode for ch in _WRITE_MODE_CHARS)
+
+
+def _is_tmp_name(path: str) -> bool:
+    return os.path.basename(path).endswith(".tmp")
+
+
+class AtomicWriteSanitizer:
+    """Context manager interposing on the durability syscalls.
+
+    While entered, ``builtins.open``/``io.open``, ``os.fsync``,
+    ``os.replace``, ``os.link``, ``os.unlink``/``os.remove`` route
+    through shims that track, per path: was it opened for writing, was
+    its descriptor fsync'd, was it published or cleaned up.  Findings
+    accumulate in :attr:`reports`; the ``with`` block itself never
+    raises — asserting on the reports is the caller's (the pytest
+    fixture's) job, so one violation reads as a test failure naming
+    the path, not a stack trace inside ``os.replace``.
+    """
+
+    def __init__(self) -> None:
+        self.reports: List[SanitizerReport] = []
+        #: paths opened with a writing mode during the watch
+        self._written: Set[str] = set()
+        #: written paths whose descriptor was fsync'd
+        self._synced: Set[str] = set()
+        #: written *.tmp paths neither published nor removed yet
+        self._live_tmp: Set[str] = set()
+        #: fd -> path for descriptors we handed out
+        self._fd_paths: Dict[int, str] = {}
+        self._saved: Dict[str, Any] = {}
+        self._entered = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AtomicWriteSanitizer":
+        self._saved = {
+            "open": builtins.open,
+            "io_open": io.open,
+            "fsync": os.fsync,
+            "replace": os.replace,
+            "link": os.link,
+            "unlink": os.unlink,
+            "remove": os.remove,
+        }
+        builtins.open = self._open  # type: ignore[assignment]
+        io.open = self._open  # type: ignore[assignment]
+        os.fsync = self._fsync  # type: ignore[assignment]
+        os.replace = self._replace  # type: ignore[assignment]
+        os.link = self._link  # type: ignore[assignment]
+        os.unlink = self._unlink  # type: ignore[assignment]
+        os.remove = self._unlink  # type: ignore[assignment]
+        self._entered = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        builtins.open = self._saved["open"]
+        io.open = self._saved["io_open"]
+        os.fsync = self._saved["fsync"]
+        os.replace = self._saved["replace"]
+        os.link = self._saved["link"]
+        os.unlink = self._saved["unlink"]
+        os.remove = self._saved["remove"]
+        self._entered = False
+        for path in sorted(self._live_tmp):
+            if os.path.exists(path):
+                self.reports.append(SanitizerReport(
+                    "orphaned-tmp", path,
+                    "temp file written during the watch was never "
+                    "published (os.replace/os.link) nor removed — a "
+                    "crashed writer would leave it to confuse repair "
+                    "and leak disk"))
+
+    # ------------------------------------------------------------------
+    # shims
+    # ------------------------------------------------------------------
+    def _open(self, file: Any, mode: str = "r", *args: Any,
+              **kwargs: Any) -> Any:
+        fh = self._saved["open"](file, mode, *args, **kwargs)
+        try:
+            if isinstance(mode, str) and _is_write_mode(mode) \
+                    and isinstance(file, (str, os.PathLike)):
+                path = os.fspath(file)
+                if isinstance(path, bytes):
+                    path = os.fsdecode(path)
+                path = os.path.abspath(path)
+                self._written.add(path)
+                self._synced.discard(path)
+                if _is_tmp_name(path):
+                    self._live_tmp.add(path)
+                self._fd_paths[fh.fileno()] = path
+        except (TypeError, ValueError, AttributeError, OSError):
+            # exotic path objects or fd-less streams: skip tracking,
+            # never break the caller's I/O
+            pass
+        return fh
+
+    def _fsync(self, fd: int) -> None:
+        self._saved["fsync"](fd)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            self._synced.add(path)
+
+    def _replace(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        self._note_publish(src, "os.replace")
+        self._saved["replace"](src, dst, **kwargs)
+
+    def _link(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        self._note_publish(src, "os.link")
+        self._saved["link"](src, dst, **kwargs)
+
+    def _unlink(self, path: Any, **kwargs: Any) -> None:
+        self._saved["unlink"](path, **kwargs)
+        try:
+            self._live_tmp.discard(self._canonical(path))
+        except (TypeError, ValueError):
+            pass  # non-path argument (e.g. fd): nothing tracked for it
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonical(path: Any) -> str:
+        out = os.fspath(path)
+        if isinstance(out, bytes):
+            out = os.fsdecode(out)
+        return os.path.abspath(out)
+
+    def _note_publish(self, src: Any, how: str) -> None:
+        try:
+            path = self._canonical(src)
+        except (TypeError, ValueError):
+            return  # non-path source: nothing tracked for it
+        # only tmp-staged publishes carry the protocol: a rename-aside
+        # of an existing file (blob quarantine) has no data to lose
+        if how == "os.replace" and _is_tmp_name(path) \
+                and path in self._written and path not in self._synced:
+            self.reports.append(SanitizerReport(
+                "unsynced-replace", path,
+                "published with os.replace without an os.fsync of the "
+                "written data — after a crash the rename can be "
+                "durable while the contents are not, so readers see a "
+                "complete-looking torn file"))
+        # published (even unsynced): no longer an orphan candidate
+        self._live_tmp.discard(path)
+
+
+# ----------------------------------------------------------------------
+# the event-loop half: slow-callback detection
+# ----------------------------------------------------------------------
+class _SlowCallbackHandler(logging.Handler):
+    def __init__(self, reports: List[SanitizerReport]) -> None:
+        super().__init__(level=logging.WARNING)
+        self.reports = reports
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "Executing" in message and "took" in message:
+            self.reports.append(SanitizerReport(
+                "slow-callback", message.split(" took ")[0].strip(),
+                message))
+
+
+@contextmanager
+def slow_callback_watch(
+        threshold: float = 0.5) -> Iterator[List[SanitizerReport]]:
+    """Collect asyncio slow-callback warnings as sanitizer reports.
+
+    Arms the ``asyncio`` logger with a capturing handler; the loop
+    itself must run in debug mode for asyncio to emit the warnings —
+    :func:`watched_run` does both.  *threshold* is generous by default
+    (0.5 s): the point is catching synchronous work parked on the loop
+    (the dynamic twin of NV008), not timing jitter on a loaded CI box.
+    """
+    reports: List[SanitizerReport] = []
+    handler = _SlowCallbackHandler(reports)
+    logger = logging.getLogger("asyncio")
+    old_level = logger.level
+    logger.addHandler(handler)
+    if logger.level > logging.WARNING or logger.level == logging.NOTSET:
+        logger.setLevel(logging.WARNING)
+    try:
+        yield reports
+    finally:
+        logger.removeHandler(handler)
+        logger.setLevel(old_level)
+
+
+def watched_run(coro: Any, threshold: float = 0.5) -> Any:
+    """``asyncio.run`` with the slow-callback detector armed.
+
+    Runs *coro* on a debug-mode loop with ``slow_callback_duration``
+    set to *threshold* and raises ``AssertionError`` naming the
+    callback if anything held the loop longer — so a blocking call
+    that sneaks past the static NV008 check still fails the test that
+    exercises it.
+    """
+    async def _with_threshold() -> Any:
+        loop = asyncio.get_running_loop()
+        loop.slow_callback_duration = threshold
+        return await coro
+
+    with slow_callback_watch(threshold) as reports:
+        result = asyncio.run(_with_threshold(), debug=True)
+    if reports:
+        lines = "\n".join(str(r) for r in reports)
+        raise AssertionError(
+            f"event loop blocked past {threshold}s:\n{lines}")
+    return result

@@ -62,6 +62,31 @@ def _isolated_encode_cache(monkeypatch):
     cache.reset()
 
 
+@pytest.fixture(autouse=True)
+def _crash_consistency_sanitizer(request):
+    """Arm the durability interposer when NOVA_SANITIZE asks for it.
+
+    Off by default (zero overhead); CI runs the suite a second time
+    with the sanitizer on, and any tmp-write -> fsync -> replace drift
+    or orphaned temp file fails the offending test by name.  Tests that
+    exercise the sanitizer itself (and so violate the protocol on
+    purpose) opt out with ``@pytest.mark.sanitizer_internal``.
+    """
+    from repro import config as config_mod
+    from repro.testing import sanitize
+
+    if (not config_mod.sanitize_enabled()
+            or request.node.get_closest_marker("sanitizer_internal")):
+        yield
+        return
+    san = sanitize.AtomicWriteSanitizer()
+    with san:
+        yield
+    assert not san.reports, (
+        "crash-consistency sanitizer reports:\n"
+        + "\n".join(str(r) for r in san.reports))
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)

@@ -1,0 +1,14 @@
+"""Fixture: benchmark helper reading its knobs straight off the env."""
+
+import os
+
+SLICE_VAR = "NOVA_BENCH_SET"
+
+
+def active_slice():
+    # the constant resolves through the dataflow layer: still a finding
+    return os.environ.get(SLICE_VAR, "small")
+
+
+def cache_policy():
+    return os.getenv("NOVA_CACHE", "on")

@@ -1,0 +1,31 @@
+"""Fixture: a work-stealing claim loop that breaks every NV007 invariant."""
+
+from repro.runner.journal import Journal
+
+RESULTS_NAME = "results.claimant.jsonl"
+
+
+def claim_all(leases, tasks):
+    for task_id in tasks:
+        lease = leases.acquire(task_id)  # unguarded: None means "not ours"
+        run_task(task_id, lease)  # ...and the loop never heartbeats
+
+
+def is_stale(epoch, other_epoch):
+    return epoch < other_epoch  # bare epoch: loses the claimant tie-break
+
+
+def journal_final(journal: Journal, task_id, lease):
+    entry = {"task": task_id, "status": "ok"}
+    entry["epoch"] = lease.epoch  # torn stamp: claimant never written
+    journal.append(entry)
+
+
+def publish_shard(run_dir, rows):
+    with open(run_dir / RESULTS_NAME, "a") as fh:  # raw shard write
+        for row in rows:
+            fh.write(row + "\n")
+
+
+def run_task(task_id, lease):
+    pass

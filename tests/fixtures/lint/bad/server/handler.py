@@ -1,0 +1,15 @@
+"""Fixture: a coroutine handler that parks work on the event loop."""
+
+import time
+
+
+async def handle(reader, writer):
+    data = render_page()  # sync helper called ON the loop
+    writer.write(data)
+    await writer.drain()  # unbounded: a dead peer wedges this handler
+    time.sleep(0.1)  # blocking call inside a coroutine
+
+
+def render_page():
+    time.sleep(0.5)  # reachable from handle() -> runs on the loop
+    return b"ok"

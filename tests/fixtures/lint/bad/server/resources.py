@@ -1,0 +1,24 @@
+"""Fixture: resource acquisitions with leak windows on the error path."""
+
+
+class SlotPool:
+    def __init__(self, sem):
+        self._sem = sem
+        self._running = 0
+
+    def admit(self, record):
+        self._sem.acquire()
+        record()  # leak window: a raise here loses the slot forever
+        self._running += 1
+        try:
+            return self._running
+        finally:
+            self._running -= 1
+            self._sem.release()
+
+
+def read_rows(path):
+    fh = open(path)  # no with, no finally: an exception leaks the handle
+    rows = fh.read().splitlines()
+    fh.close()
+    return rows

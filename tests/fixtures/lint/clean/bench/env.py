@@ -1,0 +1,12 @@
+"""Fixture: benchmark helper reading knobs through the config."""
+
+from repro import config
+
+
+def active_slice():
+    value = config.bench_set()
+    return value if value is not None else "small"
+
+
+def cache_policy():
+    return config.cache_policy()

@@ -1,0 +1,31 @@
+"""Fixture: a claim loop that honours the lease/fencing protocol."""
+
+from repro.runner.journal import Journal
+
+
+def claim_all(leases, tasks):
+    while True:
+        for task_id in tasks:
+            lease = leases.acquire(task_id)
+            if lease is None:
+                continue  # another claimant holds it
+            run_task(task_id, lease)
+            renewed = leases.heartbeat(lease)
+            if renewed is None:
+                continue  # stolen out from under us; let it go
+
+
+def is_stale(epoch, claimant, other_epoch, other_claimant):
+    # precedence is always the full fencing tuple
+    return (epoch, claimant) < (other_epoch, other_claimant)
+
+
+def journal_final(journal: Journal, task_id, lease):
+    entry = {"task": task_id, "status": "ok"}
+    entry["epoch"] = lease.epoch
+    entry["claimant"] = lease.claimant
+    journal.append(entry)  # rows reach disk fsync'd, fully stamped
+
+
+def run_task(task_id, lease):
+    pass

@@ -1,0 +1,17 @@
+"""Fixture: a handler that keeps blocking work off the loop."""
+
+import asyncio
+import time
+
+
+async def handle(reader, writer):
+    # referenced, not called: to_thread runs it off-loop, so the
+    # time.sleep inside is not an event-loop hazard
+    data = await asyncio.to_thread(render_page)
+    writer.write(data)
+    await asyncio.wait_for(writer.drain(), timeout=5.0)
+
+
+def render_page():
+    time.sleep(0.5)
+    return b"ok"

@@ -1,0 +1,24 @@
+"""Fixture: resource lifetimes that dominate every exit path."""
+
+
+class SlotPool:
+    def __init__(self, sem):
+        self._sem = sem
+        self._running = 0
+
+    def admit(self, record):
+        self._sem.acquire()
+        try:  # entered immediately: no code between acquire and try
+            record()
+            self._running += 1
+            try:
+                return self._running
+            finally:
+                self._running -= 1
+        finally:
+            self._sem.release()
+
+
+def read_rows(path):
+    with open(path) as fh:
+        return fh.read().splitlines()

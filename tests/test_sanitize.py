@@ -1,0 +1,139 @@
+"""Tests for the runtime crash-consistency sanitizer.
+
+The sanitizer is the dynamic half of the durability story: NV003/NV007
+prove the tmp + fsync + replace shape statically, and
+:class:`repro.testing.sanitize.AtomicWriteSanitizer` verifies at run
+time that every rename-publish carried its bytes to disk first.  These
+tests drive the shims directly with both compliant and violating write
+sequences; the ones that violate on purpose carry
+``@pytest.mark.sanitizer_internal`` so a ``NOVA_SANITIZE=1`` outer run
+does not double-report them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro import config as config_mod
+from repro.testing.sanitize import (
+    AtomicWriteSanitizer,
+    SanitizerReport,
+    watched_run,
+)
+
+
+class TestAtomicWriteSanitizer:
+    def test_compliant_protocol_is_clean(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        tmp = tmp_path / "manifest.json.tmp"
+        with AtomicWriteSanitizer() as san:
+            with open(tmp, "w") as fh:
+                fh.write("{}")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        assert san.reports == []
+        assert target.read_text() == "{}"
+
+    @pytest.mark.sanitizer_internal
+    def test_unsynced_replace_is_reported(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        tmp = tmp_path / "manifest.json.tmp"
+        with AtomicWriteSanitizer() as san:
+            with open(tmp, "w") as fh:
+                fh.write("{}")
+            os.replace(tmp, target)
+        kinds = [r.kind for r in san.reports]
+        assert kinds == ["unsynced-replace"]
+        assert san.reports[0].path.endswith("manifest.json.tmp")
+        assert "fsync" in san.reports[0].detail
+
+    @pytest.mark.sanitizer_internal
+    def test_orphaned_tmp_is_reported(self, tmp_path):
+        stranded = tmp_path / "shard-0.jsonl.tmp"
+        with AtomicWriteSanitizer() as san:
+            with open(stranded, "w") as fh:
+                fh.write("row\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        kinds = [r.kind for r in san.reports]
+        assert kinds == ["orphaned-tmp"]
+        assert san.reports[0].path.endswith("shard-0.jsonl.tmp")
+        stranded.unlink()  # tidy up for any outer watch
+
+    def test_cleaned_up_tmp_is_not_an_orphan(self, tmp_path):
+        tmp = tmp_path / "probe.tmp"
+        with AtomicWriteSanitizer() as san:
+            with open(tmp, "w") as fh:
+                fh.write("x")
+            os.unlink(tmp)
+        assert san.reports == []
+
+    def test_rename_aside_of_existing_file_is_fine(self, tmp_path):
+        # quarantine pattern: os.replace moves a corrupt *existing*
+        # file aside.  There is no staged data to lose, so no fsync is
+        # demanded of non-.tmp sources.
+        corrupt = tmp_path / "blob.zst"
+        with AtomicWriteSanitizer() as san:
+            with open(corrupt, "w") as fh:
+                fh.write("garbage")
+            os.replace(corrupt, tmp_path / "blob.zst.corrupt")
+        assert san.reports == []
+
+    def test_non_write_opens_are_ignored(self, tmp_path):
+        probe = tmp_path / "data.txt"
+        probe.write_text("hello")
+        with AtomicWriteSanitizer() as san:
+            with open(probe) as fh:
+                assert fh.read() == "hello"
+        assert san.reports == []
+
+    def test_shims_are_restored_on_exit(self):
+        import builtins
+
+        before = (builtins.open, os.fsync, os.replace, os.unlink)
+        with AtomicWriteSanitizer():
+            assert builtins.open is not before[0]
+        assert (builtins.open, os.fsync, os.replace,
+                os.unlink) == before
+
+    def test_report_renders_kind_and_path(self):
+        report = SanitizerReport("orphaned-tmp", "/tmp/x.tmp", "why")
+        assert "orphaned-tmp" in str(report)
+        assert "/tmp/x.tmp" in str(report)
+
+
+class TestWatchedRun:
+    def test_clean_coroutine_returns_value(self):
+        async def quick():
+            await asyncio.sleep(0)
+            return 42
+
+        assert watched_run(quick()) == 42
+
+    def test_blocking_callback_raises(self):
+        async def blocker():
+            time.sleep(0.05)  # parked on the loop: the NV008 sin
+            return "done"
+
+        with pytest.raises(AssertionError, match="event loop blocked"):
+            watched_run(blocker(), threshold=0.01)
+
+
+class TestGating:
+    def test_config_scope_drives_sanitize_enabled(self):
+        with config_mod.config_scope(sanitize=True):
+            assert config_mod.sanitize_enabled() is True
+        with config_mod.config_scope(sanitize=False):
+            assert config_mod.sanitize_enabled() is False
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.delenv("NOVA_CONFIG", raising=False)
+        monkeypatch.setenv("NOVA_SANITIZE", "1")
+        assert config_mod.sanitize_enabled() is True
+        monkeypatch.setenv("NOVA_SANITIZE", "0")
+        assert config_mod.sanitize_enabled() is False

@@ -31,11 +31,17 @@ from repro.errors import (
     exit_code_for,
 )
 from repro.fsm.benchmarks import benchmark
+from repro import config as config_mod
 from repro.server import EncodeService, ServerApp
-from repro.testing import faults
+from repro.testing import faults, sanitize
 
 
 def run(coro):
+    """Every event-loop test funnels through here; under NOVA_SANITIZE
+    the loop runs in debug mode with the slow-callback detector armed,
+    so synchronous work parked on the loop fails the test by name."""
+    if config_mod.sanitize_enabled():
+        return sanitize.watched_run(coro)
     return asyncio.run(coro)
 
 
@@ -450,6 +456,80 @@ def test_slow_client_gets_408_and_connection_survives():
     assert b"408" in data.split(b"\r\n", 1)[0]
     assert ok[0] == 200
     assert slow == 1
+
+
+def test_wedged_drain_is_bounded_and_counted(capsys):
+    # regression (found by NV008): writer.drain() was awaited with no
+    # deadline, so a peer that stopped reading while our send buffer
+    # was full held the handler — and its admission slot — forever
+    class WedgedWriter:
+        def __init__(self):
+            self.closed = False
+            self.data = b""
+
+        def write(self, data):
+            self.data += data
+
+        async def drain(self):
+            await asyncio.sleep(30)
+
+        def close(self):
+            self.closed = True
+
+    async def scenario():
+        from repro.server.service import EncodeResponse
+
+        svc = make_service()
+        app = ServerApp(svc, port=0, drain_timeout=0.05,
+                        log_stream=sys.stderr)
+        writer = WedgedWriter()
+        response = EncodeResponse(200, {"status": "ok"},
+                                  log={"outcome": "ok"})
+        # bounded: without the wait_for this would sit the full 30s
+        await asyncio.wait_for(
+            app._write_response(writer, response, "GET", "/healthz",
+                                time.monotonic()),
+            timeout=5.0)
+        return writer, svc.stats.slow_clients
+
+    writer, slow = run(scenario())
+    assert slow == 1
+    assert writer.closed
+    assert writer.data.startswith(b"HTTP/1.1 200")
+
+
+def test_stats_hook_failure_does_not_leak_admission_slot():
+    # regression (found by NV009): the queue-wait stats hook ran
+    # between the semaphore acquire and the releasing try, so a raise
+    # there leaked the slot and shrank capacity for the process's life
+    from repro.server.admission import AdmissionController
+
+    class BoomStats:
+        queue_rejects = 0
+
+        def __init__(self):
+            self.fail = True
+
+        def record_queue_wait(self, seconds):
+            if self.fail:
+                raise RuntimeError("stats sink went away")
+
+    async def scenario():
+        stats = BoomStats()
+        ctl = AdmissionController(workers=1, queue_limit=2, stats=stats)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                async with ctl.admit():
+                    pass  # pragma: no cover - never reached
+        stats.fail = False
+        # the sole slot must have survived both failures: this admit
+        # would hit its deadline if either raise had leaked the slot
+        async with ctl.admit(deadline=time.monotonic() + 0.2) as wait:
+            return wait, ctl.running
+
+    wait, running = run(scenario())
+    assert wait >= 0.0
+    assert running == 1
 
 
 # ----------------------------------------------------------------------
